@@ -1,0 +1,77 @@
+package req
+
+import (
+	"fmt"
+	"math"
+)
+
+// AllQuantiles returns the option set that upgrades the per-item guarantee
+// of Theorem 1 to the simultaneous all-quantiles guarantee of Corollary 1:
+// with probability 1 − delta, EVERY rank query (hence every quantile) is
+// within relative error eps at once.
+//
+// Per the corollary's proof, this runs the sketch at ε′ = ε/3 and
+// δ′ = δ·ε / (3·log₂(ε·n)) — a union bound over the Θ(ε⁻¹·log(εn)) items of
+// an offline-optimal relative-error cover of the stream. nHint is the
+// anticipated stream length used to size the union bound; overshooting it
+// is safe (the bound only tightens), undershooting weakens the simultaneous
+// guarantee back toward per-item.
+//
+//	s, _ := req.NewFloat64(req.AllQuantiles(0.01, 0.05, 1e9)...)
+func AllQuantiles(eps, delta float64, nHint uint64) []Option {
+	epsPrime := eps / 3
+	// Cover size Θ(ε⁻¹·log₂(εn)); the constant 1 suffices because the
+	// cover of Appendix A stores ℓ = ε⁻¹ items per doubling of rank.
+	logTerm := math.Log2(math.Max(2, eps*float64(nHint)))
+	coverSize := math.Max(1, logTerm/epsPrime)
+	deltaPrime := delta / coverSize
+	if deltaPrime <= 0 || math.IsNaN(deltaPrime) {
+		deltaPrime = 1e-16
+	}
+	// Delta only changes the space constant; clamp it to the supported
+	// range rather than erroring on extreme cover sizes.
+	if deltaPrime < 1e-300 {
+		deltaPrime = 1e-300
+	}
+	return []Option{WithEpsilon(epsPrime), WithDelta(deltaPrime)}
+}
+
+// RankBounds returns a confidence interval for the true rank of y derived
+// from the sketch's ε: [R̂/(1+ε), R̂/(1−ε)], each end clamped to [0, n].
+// The interval covers the true rank with probability 1 − δ (per queried
+// item; combine with AllQuantiles for simultaneous coverage).
+func (s *Sketch[T]) RankBounds(y T) (lo, hi uint64) {
+	est := float64(s.Rank(y))
+	eps := s.core.Config().Eps
+	lo = uint64(math.Floor(est / (1 + eps)))
+	if eps < 1 {
+		hi = uint64(math.Ceil(est / (1 - eps)))
+	} else {
+		hi = s.Count()
+	}
+	if hi > s.Count() {
+		hi = s.Count()
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// Epsilon returns the sketch's configured relative-error target.
+func (s *Sketch[T]) Epsilon() float64 { return s.core.Config().Eps }
+
+// Delta returns the sketch's configured failure probability.
+func (s *Sketch[T]) Delta() float64 { return s.core.Config().Delta }
+
+// validateAllQuantilesArgs is used by tests to surface argument errors the
+// variadic helper would otherwise defer to New.
+func validateAllQuantilesArgs(eps, delta float64) error {
+	if eps <= 0 || eps >= 1 {
+		return fmt.Errorf("req: all-quantiles epsilon %v out of (0, 1)", eps)
+	}
+	if delta <= 0 || delta > 0.5 {
+		return fmt.Errorf("req: all-quantiles delta %v out of (0, 0.5]", delta)
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package req
+
+import (
+	"math"
+	"testing"
+
+	"req/internal/rng"
+)
+
+func TestAllQuantilesOptionsConstruct(t *testing.T) {
+	s, err := NewFloat64(AllQuantiles(0.05, 0.05, 1<<20)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ε′ = ε/3.
+	if math.Abs(s.Epsilon()-0.05/3) > 1e-12 {
+		t.Fatalf("eps' = %v", s.Epsilon())
+	}
+	if s.Delta() >= 0.05 {
+		t.Fatalf("delta' = %v not reduced", s.Delta())
+	}
+}
+
+func TestAllQuantilesExtremeArgsStillConstruct(t *testing.T) {
+	// Gigantic nHint and tiny delta must clamp, not error.
+	if _, err := NewFloat64(AllQuantiles(0.01, 1e-6, math.MaxUint64)...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllQuantilesSimultaneousGuarantee(t *testing.T) {
+	// With the Corollary 1 sizing, EVERY power-of-two rank must be within
+	// the original ε simultaneously, across several seeds.
+	const n = 1 << 16
+	const eps = 0.1
+	for seed := uint64(0); seed < 6; seed++ {
+		opts := append(AllQuantiles(eps, 0.05, n), WithSeed(seed))
+		s, err := NewFloat64(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(seed + 100)
+		for _, v := range r.Perm(n) {
+			s.Update(float64(v))
+		}
+		for rank := 1; rank <= n; rank *= 2 {
+			est := float64(s.Rank(float64(rank - 1)))
+			rel := math.Abs(est-float64(rank)) / float64(rank)
+			if rel > eps {
+				t.Fatalf("seed %d rank %d: rel %.4f > ε", seed, rank, rel)
+			}
+		}
+	}
+}
+
+func TestValidateAllQuantilesArgs(t *testing.T) {
+	if err := validateAllQuantilesArgs(0.1, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct{ e, d float64 }{{0, 0.1}, {1, 0.1}, {0.1, 0}, {0.1, 0.7}} {
+		if err := validateAllQuantilesArgs(c.e, c.d); err == nil {
+			t.Errorf("args (%v, %v) accepted", c.e, c.d)
+		}
+	}
+}
+
+func TestRankBounds(t *testing.T) {
+	s := mustFloat64(t, WithEpsilon(0.1), WithSeed(7))
+	const n = 1 << 16
+	s.UpdateAll(permStream(n, 8))
+	for rank := 64; rank <= n; rank *= 4 {
+		lo, hi := s.Sketch.RankBounds(float64(rank - 1))
+		if lo > hi {
+			t.Fatalf("bounds inverted at rank %d: [%d, %d]", rank, lo, hi)
+		}
+		if uint64(rank) < lo || uint64(rank) > hi {
+			t.Errorf("true rank %d outside bounds [%d, %d]", rank, lo, hi)
+		}
+		if hi > s.Count() {
+			t.Fatalf("upper bound %d exceeds n", hi)
+		}
+	}
+}
+
+func TestRankBoundsEmpty(t *testing.T) {
+	s := mustFloat64(t)
+	lo, hi := s.Sketch.RankBounds(5)
+	if lo != 0 || hi != 0 {
+		t.Fatalf("empty bounds = [%d, %d]", lo, hi)
+	}
+}
+
+func TestEpsilonDeltaAccessors(t *testing.T) {
+	s := mustFloat64(t, WithEpsilon(0.07), WithDelta(0.03))
+	if s.Epsilon() != 0.07 || s.Delta() != 0.03 {
+		t.Fatalf("accessors: %v, %v", s.Epsilon(), s.Delta())
+	}
+}

@@ -1,0 +1,490 @@
+package req
+
+// Benchmark suite: one testing.B target per table/figure of DESIGN.md's
+// experiment index (T1 throughput tables plus the E* reproduction metrics;
+// the full-scale versions with commentary live in cmd/reqbench).
+//
+// Accuracy/space benches report their quantity of interest through
+// b.ReportMetric (items/sketch, relerr, violations) so `go test -bench`
+// regenerates every table's numbers in one run.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"req/internal/core"
+	"req/internal/exact"
+	"req/internal/expsampler"
+	"req/internal/gk"
+	"req/internal/kll"
+	"req/internal/quantile"
+	"req/internal/rng"
+	"req/internal/schedule"
+	"req/internal/stats"
+	"req/internal/streams"
+	"req/internal/tdigest"
+)
+
+// benchValues returns a deterministic pseudo-random value stream.
+func benchValues(n int, seed uint64) []float64 {
+	r := rng.New(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.Float64() * 1e6
+	}
+	return out
+}
+
+// --- T1: update throughput ---------------------------------------------------
+
+func BenchmarkUpdateREQ(b *testing.B) {
+	for _, eps := range []float64{0.1, 0.01} {
+		b.Run(fmt.Sprintf("eps=%g", eps), func(b *testing.B) {
+			vals := benchValues(1<<16, 1)
+			s, err := NewFloat64(WithEpsilon(eps), WithSeed(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Update(vals[i&(1<<16-1)])
+			}
+		})
+	}
+}
+
+func BenchmarkUpdateREQHRA(b *testing.B) {
+	vals := benchValues(1<<16, 1)
+	s, err := NewFloat64(WithEpsilon(0.01), WithHighRankAccuracy(), WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Update(vals[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkUpdateKLL(b *testing.B) {
+	vals := benchValues(1<<16, 1)
+	s := kll.New(kll.KForEpsilon(0.01), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Update(vals[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkUpdateGK(b *testing.B) {
+	vals := benchValues(1<<16, 1)
+	s, err := gk.New(0.01)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Update(vals[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkUpdateTDigest(b *testing.B) {
+	vals := benchValues(1<<16, 1)
+	s := tdigest.New(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Update(vals[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkUpdateExpSampler(b *testing.B) {
+	vals := benchValues(1<<16, 1)
+	s, err := expsampler.New(0.05, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Update(vals[i&(1<<16-1)])
+	}
+}
+
+// --- T1: query latency ---------------------------------------------------------
+
+func BenchmarkRankREQ(b *testing.B) {
+	s, _ := NewFloat64(WithEpsilon(0.01), WithSeed(1))
+	s.UpdateAll(benchValues(1<<20, 2))
+	qs := benchValues(1024, 3)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Rank(qs[i&1023])
+	}
+	_ = sink
+}
+
+func BenchmarkQuantileREQ(b *testing.B) {
+	s, _ := NewFloat64(WithEpsilon(0.01), WithSeed(1))
+	s.UpdateAll(benchValues(1<<20, 2))
+	_, _ = s.Quantile(0.5) // build the sorted view once
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		phi := float64(i&1023) / 1024
+		if _, err := s.Quantile(phi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMergeREQ(b *testing.B) {
+	// Rebuilding inputs per iteration would swamp the run, so the target is
+	// reconstituted from a pre-serialized blob each round (decode cost is
+	// excluded via timer control) and merges the same source sketch.
+	x, _ := NewFloat64(WithEpsilon(0.02), WithSeed(1))
+	y, _ := NewFloat64(WithEpsilon(0.02), WithSeed(2))
+	x.UpdateAll(benchValues(1<<15, 3))
+	y.UpdateAll(benchValues(1<<15, 4))
+	blob, err := x.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		target, err := DecodeFloat64(blob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := target.Merge(y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSerializeREQ(b *testing.B) {
+	s, _ := NewFloat64(WithEpsilon(0.01), WithSeed(1))
+	s.UpdateAll(benchValues(1<<20, 2))
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(blob)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.MarshalBinary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeserializeREQ(b *testing.B) {
+	s, _ := NewFloat64(WithEpsilon(0.01), WithSeed(1))
+	s.UpdateAll(benchValues(1<<20, 2))
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(blob)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeFloat64(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E-series: reproduction metrics (scaled down; full runs in reqbench) -------
+
+// reportRelErr runs one accuracy trial and reports the worst relative error
+// over log-spaced ranks as the bench metric.
+func relErrOnce(cfg core.Config, n int, order streams.Order, seed uint64) float64 {
+	r := rng.New(seed)
+	vals := streams.Permutation{}.Generate(n, r)
+	streams.Arrange(vals, order, r)
+	cfg.Seed = seed
+	sk, err := quantile.NewREQ(cfg, "req")
+	if err != nil {
+		panic(err)
+	}
+	for _, v := range vals {
+		sk.Update(v)
+	}
+	worst := 0.0
+	for rank := uint64(1); rank <= uint64(n); rank *= 2 {
+		est := float64(sk.Rank(float64(rank - 1)))
+		rel := stats.RelErr(est, float64(rank))
+		if rel > worst {
+			worst = rel
+		}
+	}
+	return worst
+}
+
+func BenchmarkE1ErrorVsRank(b *testing.B) {
+	const n = 1 << 15
+	worst := 0.0
+	for i := 0; i < b.N; i++ {
+		w := relErrOnce(core.Config{Eps: 0.05, Delta: 0.05}, n, streams.OrderAsGenerated, uint64(i))
+		if w > worst {
+			worst = w
+		}
+	}
+	b.ReportMetric(worst, "max-relerr")
+}
+
+func BenchmarkE2SpaceVsN(b *testing.B) {
+	for _, pow := range []int{14, 16, 18} {
+		pow := pow
+		b.Run(fmt.Sprintf("n=2^%d", pow), func(b *testing.B) {
+			items := 0
+			for i := 0; i < b.N; i++ {
+				sk, _ := quantile.NewREQ(core.Config{Eps: 0.02, Delta: 0.05, Seed: uint64(i)}, "req")
+				r := rng.New(uint64(i))
+				for _, v := range r.Perm(1 << pow) {
+					sk.Update(float64(v))
+				}
+				items = sk.ItemsRetained()
+			}
+			b.ReportMetric(float64(items), "items/sketch")
+		})
+	}
+}
+
+func BenchmarkE3SpaceVsEps(b *testing.B) {
+	for _, eps := range []float64{0.1, 0.05, 0.02} {
+		eps := eps
+		b.Run(fmt.Sprintf("eps=%g", eps), func(b *testing.B) {
+			var reqItems, samplerItems int
+			for i := 0; i < b.N; i++ {
+				vals := benchValues(1<<15, uint64(i))
+				sk, _ := quantile.NewREQ(core.Config{Eps: eps, Delta: 0.05, Seed: uint64(i)}, "req")
+				sm, _ := expsampler.New(eps, uint64(i))
+				for _, v := range vals {
+					sk.Update(v)
+					sm.Update(v)
+				}
+				reqItems, samplerItems = sk.ItemsRetained(), sm.ItemsRetained()
+			}
+			b.ReportMetric(float64(reqItems), "req-items")
+			b.ReportMetric(float64(samplerItems), "sampler-items")
+		})
+	}
+}
+
+func BenchmarkE4TailAccuracy(b *testing.B) {
+	const n = 1 << 16
+	var reqErr, kllErr float64
+	for i := 0; i < b.N; i++ {
+		vals := streams.Latency{}.Generate(n, rng.New(uint64(i)))
+		oracle := exact.FromValues(vals)
+		hra, _ := NewFloat64(WithEpsilon(0.01), WithHighRankAccuracy(), WithSeed(uint64(i)))
+		kl := kll.New(kll.KForEpsilon(0.01), uint64(i))
+		for _, v := range vals {
+			hra.Update(v)
+			kl.Update(v)
+		}
+		nf := float64(n)
+		rank := uint64(0.999 * nf)
+		y := oracle.ItemOfRank(rank)
+		truth := float64(oracle.Rank(y))
+		tail := float64(n) - truth + 1
+		reqErr = math.Abs(float64(hra.Rank(y))-truth) / tail
+		kllErr = math.Abs(float64(kl.Rank(y))-truth) / tail
+	}
+	b.ReportMetric(reqErr, "req-p999-tailerr")
+	b.ReportMetric(kllErr, "kll-p999-tailerr")
+}
+
+func BenchmarkE5FailureProb(b *testing.B) {
+	const n = 1 << 13
+	const eps = 0.1
+	violations, checks := 0, 0
+	for i := 0; i < b.N; i++ {
+		sk, _ := quantile.NewREQ(core.Config{Eps: eps, Delta: 0.1, Seed: uint64(i)}, "req")
+		r := rng.New(uint64(i) + 999)
+		for _, v := range r.Perm(n) {
+			sk.Update(float64(v))
+		}
+		for rank := uint64(1); rank <= n; rank *= 4 {
+			est := float64(sk.Rank(float64(rank - 1)))
+			if stats.RelErr(est, float64(rank)) > eps {
+				violations++
+			}
+			checks++
+		}
+	}
+	b.ReportMetric(float64(violations)/float64(checks), "violation-rate")
+}
+
+func BenchmarkE6Mergeability(b *testing.B) {
+	const n = 1 << 15
+	const shards = 8
+	worst := 0.0
+	for i := 0; i < b.N; i++ {
+		r := rng.New(uint64(i))
+		perm := r.Perm(n)
+		var acc *core.Sketch[float64]
+		for s := 0; s < shards; s++ {
+			sk, _ := core.New(func(a, b float64) bool { return a < b },
+				core.Config{Eps: 0.05, Delta: 0.05, Seed: uint64(i*100 + s)})
+			for j := s; j < n; j += shards {
+				sk.Update(float64(perm[j]))
+			}
+			if acc == nil {
+				acc = sk
+			} else if err := acc.Merge(sk); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for rank := uint64(1); rank <= n; rank *= 4 {
+			rel := stats.RelErr(float64(acc.Rank(float64(rank-1))), float64(rank))
+			if rel > worst {
+				worst = rel
+			}
+		}
+	}
+	b.ReportMetric(worst, "max-relerr")
+}
+
+func BenchmarkE7OrderRobustness(b *testing.B) {
+	for _, order := range []streams.Order{streams.OrderSorted, streams.OrderReversed, streams.OrderZipper} {
+		order := order
+		b.Run(order.String(), func(b *testing.B) {
+			worst := 0.0
+			for i := 0; i < b.N; i++ {
+				w := relErrOnce(core.Config{Eps: 0.05, Delta: 0.05}, 1<<14, order, uint64(i))
+				if w > worst {
+					worst = w
+				}
+			}
+			b.ReportMetric(worst, "max-relerr")
+		})
+	}
+}
+
+func BenchmarkE8UnknownN(b *testing.B) {
+	const n = 1 << 16
+	var growths uint64
+	var items int
+	for i := 0; i < b.N; i++ {
+		sk, _ := quantile.NewREQ(core.Config{Eps: 0.05, Delta: 0.05, N0: 1 << 12, Seed: uint64(i)}, "req")
+		r := rng.New(uint64(i))
+		for _, v := range r.Perm(n) {
+			sk.Update(float64(v))
+		}
+		growths = sk.Core().Stats().Growths
+		items = sk.ItemsRetained()
+	}
+	b.ReportMetric(float64(growths), "growths")
+	b.ReportMetric(float64(items), "items/sketch")
+}
+
+func BenchmarkE9DeltaScaling(b *testing.B) {
+	for _, delta := range []float64{1e-2, 1e-6, 1e-12} {
+		delta := delta
+		b.Run(fmt.Sprintf("delta=%g", delta), func(b *testing.B) {
+			var thm1, thm2 int
+			for i := 0; i < b.N; i++ {
+				vals := benchValues(1<<15, uint64(i))
+				a, _ := quantile.NewREQ(core.Config{Eps: 0.05, Delta: delta, Seed: uint64(i)}, "a")
+				c, _ := quantile.NewREQ(core.Config{Mode: core.ModeTheorem2, Eps: 0.05, Delta: delta, Seed: uint64(i)}, "c")
+				for _, v := range vals {
+					a.Update(v)
+					c.Update(v)
+				}
+				thm1, thm2 = a.ItemsRetained(), c.ItemsRetained()
+			}
+			b.ReportMetric(float64(thm1), "thm1-items")
+			b.ReportMetric(float64(thm2), "thm2-items")
+		})
+	}
+}
+
+func BenchmarkE10Deterministic(b *testing.B) {
+	worst := 0.0
+	for i := 0; i < b.N; i++ {
+		w := relErrOnce(core.Config{Mode: core.ModeTheorem2, Eps: 0.1, Delta: 1e-18},
+			1<<14, streams.OrderZipper, uint64(i))
+		if w > worst {
+			worst = w
+		}
+	}
+	b.ReportMetric(worst, "max-relerr")
+}
+
+func BenchmarkE11ScheduleAblation(b *testing.B) {
+	for _, kind := range []schedule.Kind{schedule.Exponential, schedule.Naive} {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			worst := 0.0
+			for i := 0; i < b.N; i++ {
+				w := relErrOnce(core.Config{Eps: 0.05, Delta: 0.05, Schedule: kind},
+					1<<14, streams.OrderZipper, uint64(i))
+				if w > worst {
+					worst = w
+				}
+			}
+			b.ReportMetric(worst, "max-relerr")
+		})
+	}
+}
+
+func BenchmarkE12CoinAblation(b *testing.B) {
+	const n = 1 << 14
+	bias := 0.0
+	for i := 0; i < b.N; i++ {
+		cfg := core.Config{Eps: 0.05, Delta: 0.05, DetCoin: true, Seed: uint64(i)}
+		sk, _ := quantile.NewREQ(cfg, "req-det")
+		for j := 0; j < n; j++ {
+			sk.Update(float64(j))
+		}
+		var sum float64
+		var cnt int
+		for rank := uint64(64); rank <= n; rank *= 2 {
+			est := float64(sk.Rank(float64(rank - 1)))
+			sum += stats.SignedRelErr(est, float64(rank))
+			cnt++
+		}
+		bias = sum / float64(cnt)
+	}
+	b.ReportMetric(bias, "mean-signed-err")
+}
+
+func BenchmarkE13LowerBound(b *testing.B) {
+	correct, total := 0, 0
+	for i := 0; i < b.N; i++ {
+		r := rng.New(uint64(i))
+		lb, err := streams.NewLowerBound(0.05, 7, 1<<16, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vals := lb.Values()
+		streams.Arrange(vals, streams.OrderShuffled, r)
+		sk, _ := quantile.NewREQ(core.Config{Eps: 0.05 / 3, Delta: 1e-9, Seed: uint64(i)}, "req")
+		for _, v := range vals {
+			sk.Update(v)
+		}
+		decoded := lb.Decode(sk.Rank)
+		for j := range decoded {
+			if decoded[j] == lb.S[j] {
+				correct++
+			}
+			total++
+		}
+	}
+	b.ReportMetric(float64(correct)/float64(total), "decode-rate")
+}
+
+func BenchmarkE14Levels(b *testing.B) {
+	const n = 1 << 18
+	var levels int
+	for i := 0; i < b.N; i++ {
+		sk, _ := quantile.NewREQ(core.Config{Eps: 0.05, Delta: 0.05, Seed: uint64(i)}, "req")
+		r := rng.New(uint64(i))
+		for _, v := range r.Perm(n) {
+			sk.Update(float64(v))
+		}
+		levels = sk.Core().NumLevels()
+	}
+	b.ReportMetric(float64(levels), "levels")
+}

@@ -1,0 +1,83 @@
+// Command reqbench runs the reproduction experiments of DESIGN.md and
+// prints their tables and ASCII figures. Each experiment reproduces one
+// quantitative claim of "Relative Error Streaming Quantiles" (PODS 2021);
+// EXPERIMENTS.md records the outputs.
+//
+// Usage:
+//
+//	reqbench                      # run every experiment to stdout
+//	reqbench -experiment E4       # run one experiment
+//	reqbench -quick               # reduced scale (seconds instead of minutes)
+//	reqbench -out results/        # additionally write one .txt per experiment
+//	reqbench -list                # list experiment IDs and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"req/internal/harness"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment ID (e.g. E4) or 'all'")
+		quick      = flag.Bool("quick", false, "reduced scale for a fast smoke run")
+		seed       = flag.Uint64("seed", 1, "master random seed")
+		outDir     = flag.String("out", "", "directory for per-experiment .txt reports (optional)")
+		list       = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-4s %s\n     reproduces: %s\n", e.ID, e.Title, e.PaperRef)
+		}
+		return
+	}
+
+	cfg := harness.Config{Quick: *quick, Seed: *seed}
+	var experiments []harness.Experiment
+	if strings.EqualFold(*experiment, "all") {
+		experiments = harness.All()
+	} else {
+		e, ok := harness.Get(*experiment)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "reqbench: unknown experiment %q (use -list)\n", *experiment)
+			os.Exit(2)
+		}
+		experiments = []harness.Experiment{e}
+	}
+
+	for _, e := range experiments {
+		var w io.Writer = os.Stdout
+		var f *os.File
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fatal(err)
+			}
+			var err error
+			f, err = os.Create(filepath.Join(*outDir, e.ID+".txt"))
+			if err != nil {
+				fatal(err)
+			}
+			w = io.MultiWriter(os.Stdout, f)
+		}
+		err := harness.RunOne(w, cfg, e)
+		if f != nil {
+			f.Close()
+		}
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "reqbench: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,128 @@
+// Command reqcli summarises a stream of numbers with a REQ sketch: feed one
+// float per line on stdin, get ranks and quantiles back. It is the
+// interactive face of the library, in the spirit of the Apache DataSketches
+// command-line tools.
+//
+// Usage:
+//
+//	seq 1 1000000 | shuf | reqcli -eps 0.01 -hra -q 0.5,0.99,0.999
+//	reqcli -rank 250 < latencies.txt        # estimated #values ≤ 250
+//	reqcli -demo 1000000                    # built-in latency demo stream
+//	reqcli -dump                            # print internal structure
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"req"
+	"req/internal/rng"
+	"req/internal/streams"
+)
+
+func main() {
+	var (
+		eps      = flag.Float64("eps", 0.01, "relative error target ε")
+		delta    = flag.Float64("delta", 0.01, "failure probability δ")
+		hra      = flag.Bool("hra", false, "high-rank accuracy (tail monitoring)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		qList    = flag.String("q", "0.5,0.9,0.99,0.999", "comma-separated quantiles to report")
+		rankAt   = flag.String("rank", "", "comma-separated values to rank-query")
+		demo     = flag.Int("demo", 0, "skip stdin; generate this many synthetic latency values")
+		dumpFlag = flag.Bool("dump", false, "print the sketch's internal structure")
+	)
+	flag.Parse()
+
+	opts := []req.Option{req.WithEpsilon(*eps), req.WithDelta(*delta), req.WithSeed(*seed)}
+	if *hra {
+		opts = append(opts, req.WithHighRankAccuracy())
+	}
+	sk, err := req.NewFloat64(opts...)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *demo > 0 {
+		for _, v := range (streams.Latency{}).Generate(*demo, rng.New(*seed)) {
+			sk.Update(v)
+		}
+	} else {
+		scanner := bufio.NewScanner(os.Stdin)
+		scanner.Buffer(make([]byte, 1<<20), 1<<20)
+		line := 0
+		for scanner.Scan() {
+			line++
+			text := strings.TrimSpace(scanner.Text())
+			if text == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "reqcli: line %d: %v (skipped)\n", line, err)
+				continue
+			}
+			sk.Update(v)
+		}
+		if err := scanner.Err(); err != nil {
+			fatal(err)
+		}
+	}
+
+	if sk.Empty() {
+		fatal(fmt.Errorf("no input values"))
+	}
+
+	mn, _ := sk.Min()
+	mx, _ := sk.Max()
+	fmt.Printf("n=%d  retained=%d items  levels=%d  min=%g  max=%g\n",
+		sk.Count(), sk.ItemsRetained(), sk.NumLevels(), mn, mx)
+
+	if *qList != "" {
+		fmt.Println("\nquantiles:")
+		for _, part := range strings.Split(*qList, ",") {
+			phi, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "reqcli: bad quantile %q (skipped)\n", part)
+				continue
+			}
+			q, err := sk.Quantile(phi)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "reqcli: quantile %v: %v\n", phi, err)
+				continue
+			}
+			fmt.Printf("  p%-8s %g\n", trimZeros(phi*100), q)
+		}
+	}
+
+	if *rankAt != "" {
+		fmt.Println("\nranks:")
+		for _, part := range strings.Split(*rankAt, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "reqcli: bad value %q (skipped)\n", part)
+				continue
+			}
+			r := sk.Rank(v)
+			fmt.Printf("  rank(%g) ≈ %d  (normalized %.6f)\n", v, r, sk.NormalizedRank(v))
+		}
+	}
+
+	if *dumpFlag {
+		fmt.Println()
+		fmt.Print(sk.DebugString())
+	}
+}
+
+func trimZeros(v float64) string {
+	s := strconv.FormatFloat(v, 'f', -1, 64)
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "reqcli: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,213 @@
+// Command reqmerge demonstrates the distributed workflow that full
+// mergeability (Theorem 3, Appendix D) enables: sketch shards separately,
+// persist them as compact binary files, and merge the files in any order
+// into one summary of the whole dataset.
+//
+// Usage:
+//
+//	reqmerge sketch -out shard1.req < part1.txt     # sketch a shard
+//	reqmerge sketch -out shard2.req -demo 500000    # or synthesise one
+//	reqmerge merge  -out all.req shard1.req shard2.req
+//	reqmerge query  all.req -q 0.5,0.99,0.999
+//	reqmerge info   all.req
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"req"
+	"req/internal/rng"
+	"req/internal/streams"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "sketch":
+		err = runSketch(args)
+	case "merge":
+		err = runMerge(args)
+	case "query":
+		err = runQuery(args)
+	case "info":
+		err = runInfo(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reqmerge %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  reqmerge sketch -out FILE [-eps E] [-hra] [-seed S] [-demo N]   < values
+  reqmerge merge  -out FILE IN1 IN2 [IN3 ...]
+  reqmerge query  FILE [-q LIST] [-rank LIST]
+  reqmerge info   FILE`)
+	os.Exit(2)
+}
+
+func runSketch(args []string) error {
+	fs := flag.NewFlagSet("sketch", flag.ExitOnError)
+	out := fs.String("out", "", "output sketch file (required)")
+	eps := fs.Float64("eps", 0.01, "relative error target")
+	hra := fs.Bool("hra", true, "high-rank accuracy")
+	seed := fs.Uint64("seed", 1, "random seed")
+	demo := fs.Int("demo", 0, "generate this many synthetic latencies instead of reading stdin")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	opts := []req.Option{req.WithEpsilon(*eps), req.WithSeed(*seed)}
+	if *hra {
+		opts = append(opts, req.WithHighRankAccuracy())
+	}
+	sk, err := req.NewFloat64(opts...)
+	if err != nil {
+		return err
+	}
+	if *demo > 0 {
+		for _, v := range (streams.Latency{}).Generate(*demo, rng.New(*seed)) {
+			sk.Update(v)
+		}
+	} else {
+		scanner := bufio.NewScanner(os.Stdin)
+		scanner.Buffer(make([]byte, 1<<20), 1<<20)
+		for scanner.Scan() {
+			text := strings.TrimSpace(scanner.Text())
+			if text == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				continue
+			}
+			sk.Update(v)
+		}
+		if err := scanner.Err(); err != nil {
+			return err
+		}
+	}
+	return writeSketch(*out, sk)
+}
+
+func runMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	out := fs.String("out", "", "output sketch file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	inputs := fs.Args()
+	if *out == "" || len(inputs) < 2 {
+		return fmt.Errorf("need -out and at least two input files")
+	}
+	acc, err := readSketch(inputs[0])
+	if err != nil {
+		return fmt.Errorf("%s: %w", inputs[0], err)
+	}
+	for _, path := range inputs[1:] {
+		next, err := readSketch(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if err := acc.Merge(next); err != nil {
+			return fmt.Errorf("merging %s: %w", path, err)
+		}
+	}
+	if err := writeSketch(*out, acc); err != nil {
+		return err
+	}
+	fmt.Printf("merged %d sketches: n=%d, retained=%d items\n", len(inputs), acc.Count(), acc.ItemsRetained())
+	return nil
+}
+
+func runQuery(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("need a sketch file")
+	}
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	qList := fs.String("q", "0.5,0.9,0.99,0.999", "quantiles to report")
+	rankAt := fs.String("rank", "", "values to rank-query")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	sk, err := readSketch(args[0])
+	if err != nil {
+		return err
+	}
+	for _, part := range splitList(*qList) {
+		phi, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			continue
+		}
+		q, err := sk.Quantile(phi)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("q(%g) = %g\n", phi, q)
+	}
+	for _, part := range splitList(*rankAt) {
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("rank(%g) = %d\n", v, sk.Rank(v))
+	}
+	return nil
+}
+
+func runInfo(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("need exactly one sketch file")
+	}
+	sk, err := readSketch(args[0])
+	if err != nil {
+		return err
+	}
+	mn, _ := sk.Min()
+	mx, _ := sk.Max()
+	fmt.Printf("n=%d retained=%d levels=%d k=%d min=%g max=%g\n",
+		sk.Count(), sk.ItemsRetained(), sk.NumLevels(), sk.K(), mn, mx)
+	fmt.Print(sk.DebugString())
+	return nil
+}
+
+func writeSketch(path string, sk *req.Float64) error {
+	blob, err := sk.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, blob, 0o644)
+}
+
+func readSketch(path string) (*req.Float64, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return req.DecodeFloat64(blob)
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}

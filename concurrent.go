@@ -1,0 +1,121 @@
+package req
+
+import (
+	"sync"
+)
+
+// ConcurrentFloat64 is a mutex-guarded Float64 sketch, safe for concurrent
+// use by multiple goroutines. Updates take an exclusive lock; queries take
+// a read lock but may still pay the one-time sorted-view construction under
+// contention-free semantics (the underlying view cache is rebuilt lazily
+// under the write lock via Freeze).
+//
+// For write-heavy pipelines, sharding one plain sketch per goroutine and
+// merging at read time is usually faster than sharing one sketch; this
+// wrapper exists for the simple cases. See examples/distributed for the
+// sharded pattern.
+type ConcurrentFloat64 struct {
+	mu sync.RWMutex
+	s  *Float64
+}
+
+// NewConcurrentFloat64 returns a thread-safe float64 sketch.
+func NewConcurrentFloat64(opts ...Option) (*ConcurrentFloat64, error) {
+	s, err := NewFloat64(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &ConcurrentFloat64{s: s}, nil
+}
+
+// Update inserts one value.
+func (c *ConcurrentFloat64) Update(v float64) {
+	c.mu.Lock()
+	c.s.Update(v)
+	c.mu.Unlock()
+}
+
+// UpdateAll inserts every value of the slice under one lock acquisition.
+func (c *ConcurrentFloat64) UpdateAll(vs []float64) {
+	c.mu.Lock()
+	c.s.UpdateAll(vs)
+	c.mu.Unlock()
+}
+
+// Count returns the number of values summarised.
+func (c *ConcurrentFloat64) Count() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.s.Count()
+}
+
+// Rank returns the estimated inclusive rank of y.
+//
+// Rank scans the buffers directly (it does not build the cached sorted
+// view), so a read lock suffices.
+func (c *ConcurrentFloat64) Rank(y float64) uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.s.Rank(y)
+}
+
+// Quantile returns the item at normalized rank phi. It takes the write
+// lock because the first quantile query after an update materialises the
+// cached sorted view.
+func (c *ConcurrentFloat64) Quantile(phi float64) (float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Quantile(phi)
+}
+
+// Quantiles returns the items at each normalized rank.
+func (c *ConcurrentFloat64) Quantiles(phis []float64) ([]float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Quantiles(phis)
+}
+
+// Min returns the exact minimum. ok is false when empty.
+func (c *ConcurrentFloat64) Min() (float64, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.s.Min()
+}
+
+// Max returns the exact maximum. ok is false when empty.
+func (c *ConcurrentFloat64) Max() (float64, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.s.Max()
+}
+
+// ItemsRetained returns the storage footprint in items.
+func (c *ConcurrentFloat64) ItemsRetained() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.s.ItemsRetained()
+}
+
+// Merge absorbs a plain sketch into the concurrent one.
+func (c *ConcurrentFloat64) Merge(other *Float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Merge(other)
+}
+
+// MarshalBinary serializes the wrapped sketch.
+func (c *ConcurrentFloat64) MarshalBinary() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.MarshalBinary()
+}
+
+// Snapshot returns an independent plain copy of the current state, useful
+// for lock-free querying of a frozen view.
+func (c *ConcurrentFloat64) Snapshot() (*Float64, error) {
+	blob, err := c.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return DecodeFloat64(blob)
+}

@@ -1,0 +1,135 @@
+package req
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestConcurrentBasic(t *testing.T) {
+	c, err := NewConcurrentFloat64(WithEpsilon(0.05), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Update(1)
+	c.UpdateAll([]float64{2, 3})
+	if c.Count() != 3 {
+		t.Fatalf("count = %d", c.Count())
+	}
+	if c.Rank(2) != 2 {
+		t.Fatalf("rank = %d", c.Rank(2))
+	}
+	q, err := c.Quantile(0.5)
+	if err != nil || q != 2 {
+		t.Fatalf("quantile = %v, %v", q, err)
+	}
+	mn, _ := c.Min()
+	mx, _ := c.Max()
+	if mn != 1 || mx != 3 {
+		t.Fatal("min/max wrong")
+	}
+	if c.ItemsRetained() != 3 {
+		t.Fatalf("items = %d", c.ItemsRetained())
+	}
+}
+
+func TestConcurrentParallelUpdatesAndReads(t *testing.T) {
+	c, err := NewConcurrentFloat64(WithEpsilon(0.05), WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 8
+	const perWriter = 20000
+	var wg sync.WaitGroup
+	for wi := 0; wi < writers; wi++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Update(float64(base*perWriter + i))
+			}
+		}(wi)
+	}
+	// Concurrent readers.
+	for ri := 0; ri < 4; ri++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				_ = c.Rank(float64(i * 37))
+				_ = c.Count()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Count() != writers*perWriter {
+		t.Fatalf("count = %d, want %d", c.Count(), writers*perWriter)
+	}
+	// Accuracy survives concurrent construction (values were a permutation
+	// of 0..n-1 split across writers).
+	n := float64(writers * perWriter)
+	got := float64(c.Rank(n / 2))
+	if math.Abs(got-n/2-1)/(n/2) > 0.05 {
+		t.Fatalf("median rank after concurrent updates: %v", got)
+	}
+}
+
+func TestConcurrentQuantilesAndMerge(t *testing.T) {
+	c, err := NewConcurrentFloat64(WithEpsilon(0.05), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := mustFloat64(t, WithEpsilon(0.05), WithSeed(4))
+	for i := 0; i < 10000; i++ {
+		c.Update(float64(i))
+		other.Update(float64(10000 + i))
+	}
+	if err := c.Merge(other); err != nil {
+		t.Fatal(err)
+	}
+	if c.Count() != 20000 {
+		t.Fatalf("merged count = %d", c.Count())
+	}
+	qs, err := c.Quantiles([]float64{0.25, 0.75})
+	if err != nil || len(qs) != 2 {
+		t.Fatalf("quantiles: %v %v", qs, err)
+	}
+	if qs[0] > qs[1] {
+		t.Fatal("quantiles not ordered")
+	}
+}
+
+func TestConcurrentSnapshot(t *testing.T) {
+	c, err := NewConcurrentFloat64(WithEpsilon(0.1), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		c.Update(float64(i))
+	}
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Count() != 5000 {
+		t.Fatalf("snapshot count = %d", snap.Count())
+	}
+	// Snapshot is independent.
+	c.Update(99999)
+	if snap.Count() != 5000 {
+		t.Fatal("snapshot aliases live sketch")
+	}
+	blob, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeFloat64(blob); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentRejectsBadOptions(t *testing.T) {
+	if _, err := NewConcurrentFloat64(WithEpsilon(7)); err == nil {
+		t.Fatal("bad option accepted")
+	}
+}

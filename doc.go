@@ -1,0 +1,67 @@
+// Package req implements the REQ sketch: streaming quantile estimation with
+// relative (multiplicative) rank error, reproducing
+//
+//	Cormode, Karnin, Liberty, Thaler, Veselý.
+//	"Relative Error Streaming Quantiles." PODS 2021. arXiv:2004.01668.
+//
+// Given a one-pass stream of n items from any totally ordered universe, the
+// sketch answers rank queries with guarantee
+//
+//	|R̂(y) − R(y)| ≤ ε·R(y)   with probability 1 − δ   (Theorem 1)
+//
+// while storing only O(ε⁻¹·log^1.5(εn)·√log(1/δ)) items. Relative error is
+// what tail monitoring needs: an additive-error sketch (KLL, GK) answering a
+// p99.99 query can be off by its whole εn budget, while this sketch's error
+// shrinks proportionally with the distance from the extreme.
+//
+// # Quick start
+//
+//	s, _ := req.NewFloat64(req.WithEpsilon(0.01))
+//	for _, v := range latenciesMillis {
+//		s.Update(v)
+//	}
+//	p999, _ := s.Quantile(0.999)       // item at normalized rank 0.999
+//	r := s.Rank(250.0)                 // estimated #items ≤ 250 ms
+//
+// By default the guarantee covers low ranks (and the sketch stores the
+// smallest items exactly). For tail monitoring — the common case — request
+// high-rank accuracy, which flips the protected side:
+//
+//	s, _ := req.NewFloat64(req.WithEpsilon(0.01), req.WithHighRankAccuracy())
+//
+// # Arbitrary item types
+//
+// The sketch is comparison-based: any type with a strict total order works.
+//
+//	type Span struct{ Millis float64; TraceID string }
+//	s, _ := req.New(func(a, b Span) bool { return a.Millis < b.Millis })
+//
+// # Merging
+//
+// Sketches built with the same options merge freely and in any tree shape,
+// preserving the guarantee (Theorem 3); streams may be sketched shard-wise
+// on different machines and combined later:
+//
+//	_ = global.Merge(shard1)
+//	_ = global.Merge(shard2)
+//
+// # Serialization
+//
+// Float64 sketches round-trip through encoding.BinaryMarshaler /
+// BinaryUnmarshaler, including the internal random-generator state, so a
+// restored sketch continues bit-for-bit identically.
+//
+// # Modes
+//
+// Three parameterisations are exposed (see the paper's Sections 4, Appendix
+// C, and Appendix D):
+//
+//   - default (mergeable, Theorem 1): space ∝ ε⁻¹·log^1.5(εn)·√log(1/δ)
+//   - WithTheorem2Mode: space ∝ ε⁻¹·log²(εn)·log log(1/δ), better for
+//     extremely small δ; with tiny δ it is effectively deterministic
+//   - WithK: fixed section size, like Apache DataSketches ReqSketch, for
+//     users who budget items instead of (ε, δ)
+//
+// Sketches are not safe for concurrent use; guard them with a mutex or
+// shard per goroutine and Merge.
+package req

@@ -1,0 +1,80 @@
+// Latency monitoring: the paper's motivating application (Section 1).
+//
+// A service's response times are heavily long-tailed; what pages an
+// operator is p99/p99.9/p99.99, where only a handful of requests live.
+// This example streams synthetic web latencies into (a) a REQ sketch in
+// high-rank-accuracy mode and (b) an additive-error KLL sketch of a similar
+// footprint, then compares how far each one's tail percentile estimates
+// drift from the truth.
+//
+//	go run ./examples/latency
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"req"
+	"req/internal/kll"
+	"req/internal/rng"
+	"req/internal/streams"
+)
+
+func main() {
+	const n = 2_000_000
+	fmt.Printf("simulating %d requests (log-normal body + Pareto tail)...\n\n", n)
+	latencies := streams.Latency{}.Generate(n, rng.New(2024))
+
+	reqSketch, err := req.NewFloat64(
+		req.WithEpsilon(0.01),
+		req.WithHighRankAccuracy(), // the tail is where accuracy matters
+		req.WithSeed(1),
+	)
+	if err != nil {
+		panic(err)
+	}
+	kllSketch := kll.New(kll.KForEpsilon(0.01), 1)
+
+	for _, v := range latencies {
+		reqSketch.Update(v)
+		kllSketch.Update(v)
+	}
+
+	sorted := append([]float64(nil), latencies...)
+	sort.Float64s(sorted)
+	exactQ := func(phi float64) float64 {
+		return sorted[int(math.Ceil(phi*float64(n)))-1]
+	}
+	trueRank := func(y float64) float64 {
+		return float64(sort.SearchFloat64s(sorted, math.Nextafter(y, math.Inf(1))))
+	}
+
+	fmt.Printf("%-10s %12s %12s %12s %16s %16s\n",
+		"percentile", "exact(ms)", "req(ms)", "kll(ms)", "req tail err", "kll tail err")
+	for _, phi := range []float64{0.50, 0.90, 0.99, 0.999, 0.9999, 0.99999} {
+		exact := exactQ(phi)
+		reqEst, err := reqSketch.Quantile(phi)
+		if err != nil {
+			panic(err)
+		}
+		kllEst, err := kllSketch.Quantile(phi)
+		if err != nil {
+			panic(err)
+		}
+		// Tail error: how far the estimate's true rank is from the target,
+		// relative to the tail mass above the target — the number that
+		// decides whether a p99.9 alert fires for the right latency.
+		tail := float64(n)*(1-phi) + 1
+		reqErr := math.Abs(trueRank(reqEst)-phi*float64(n)) / tail
+		kllErr := math.Abs(trueRank(kllEst)-phi*float64(n)) / tail
+		fmt.Printf("p%-9.3f %12.2f %12.2f %12.2f %15.4f%% %15.4f%%\n",
+			phi*100, exact, reqEst, kllEst, 100*reqErr, 100*kllErr)
+	}
+
+	fmt.Printf("\nfootprints: req %d items, kll %d items\n",
+		reqSketch.ItemsRetained(), kllSketch.ItemsRetained())
+	fmt.Println("\nthe additive sketch's error budget (εn) swamps the thin tail; the REQ")
+	fmt.Println("sketch keeps the same *relative* accuracy at p50 and at p99.999 — the")
+	fmt.Println("behaviour Theorem 1 guarantees and the reason the paper exists.")
+}

@@ -1,0 +1,68 @@
+// Quickstart: build a REQ sketch over a million values, query ranks and
+// quantiles, and compare a few estimates against the exact answers.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"req"
+	"req/internal/rng"
+)
+
+func main() {
+	// A sketch with 1% relative rank error at 99% confidence.
+	sketch, err := req.NewFloat64(req.WithEpsilon(0.01), req.WithSeed(42))
+	if err != nil {
+		panic(err)
+	}
+
+	// Stream a million pseudo-random values. We keep a copy only to show
+	// exact answers next to the estimates — the sketch itself stores a few
+	// thousand items.
+	const n = 1_000_000
+	r := rng.New(7)
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = r.NormFloat64()*15 + 100 // N(100, 15²)
+	}
+	for _, v := range values {
+		sketch.Update(v)
+	}
+
+	fmt.Printf("stream length:   %d values\n", sketch.Count())
+	fmt.Printf("sketch footprint: %d items in %d levels (%.4f%% of the stream)\n\n",
+		sketch.ItemsRetained(), sketch.NumLevels(),
+		100*float64(sketch.ItemsRetained())/float64(n))
+
+	// Quantiles: estimated vs exact.
+	sort.Float64s(values)
+	fmt.Println("quantile   estimate     exact        rank err")
+	for _, phi := range []float64{0.01, 0.25, 0.50, 0.75, 0.99, 0.999} {
+		est, err := sketch.Quantile(phi)
+		if err != nil {
+			panic(err)
+		}
+		exact := values[int(math.Ceil(phi*n))-1]
+		// The guarantee is on ranks: look up the estimate's true rank.
+		trueRank := sort.SearchFloat64s(values, math.Nextafter(est, math.Inf(1)))
+		relErr := math.Abs(float64(trueRank)-phi*n) / (phi * n)
+		fmt.Printf("  p%-7.3f %-12.4f %-12.4f %.5f\n", phi*100, est, exact, relErr)
+	}
+
+	// Rank queries.
+	fmt.Println("\nrank queries (estimated count of values ≤ y):")
+	for _, y := range []float64{70, 100, 130, 145} {
+		est := sketch.Rank(y)
+		exact := sort.SearchFloat64s(values, math.Nextafter(y, math.Inf(1)))
+		fmt.Printf("  rank(%6.1f) ≈ %8d   exact %8d\n", y, est, exact)
+	}
+
+	// Exact extremes come free.
+	mn, _ := sketch.Min()
+	mx, _ := sketch.Max()
+	fmt.Printf("\nexact min/max: %.4f / %.4f\n", mn, mx)
+}

@@ -1,0 +1,77 @@
+// Unknown stream length: Section 5 of the paper.
+//
+// The sketch never needs to know how long the stream will be. It starts
+// with a small bound N₀ and squares it whenever the stream outgrows it
+// (running a "special compaction" at each level and recomputing the buffer
+// geometry). This example streams three orders of magnitude past the
+// initial bound and shows the geometry adapting while accuracy holds; it
+// also compares against a sketch that was told n in advance.
+//
+//	go run ./examples/unknownlength
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"req"
+	"req/internal/rng"
+)
+
+func main() {
+	unknown, err := req.NewFloat64(req.WithEpsilon(0.02), req.WithSeed(5))
+	if err != nil {
+		panic(err)
+	}
+	known, err := req.NewFloat64(req.WithEpsilon(0.02), req.WithSeed(5), req.WithKnownN(1<<22))
+	if err != nil {
+		panic(err)
+	}
+
+	const n = 1 << 22 // ~4.2M items
+	r := rng.New(11)
+	perm := r.Perm(n)
+
+	checkpoints := map[int]bool{
+		1 << 12: true, 1 << 14: true, 1 << 16: true, 1 << 18: true, 1 << 20: true, 1 << 22: true,
+	}
+	fmt.Println("streaming with no advance knowledge of n:")
+	fmt.Printf("%12s %10s %8s %10s %12s\n", "n so far", "levels", "k", "retained", "p50 rel err")
+	for i, v := range perm {
+		unknown.Update(float64(v))
+		known.Update(float64(v))
+		if checkpoints[i+1] {
+			seen := i + 1
+			// Query the median-rank item among those seen so far. Values
+			// are a permutation of 0..n-1, so we query the sketch with a
+			// value and compare against its rank among seen items — use
+			// the count itself as a proxy via the full-range rank.
+			est := float64(unknown.Rank(float64(n))) // = seen, exact by weight conservation
+			_ = est
+			med, err := unknown.Quantile(0.5)
+			if err != nil {
+				panic(err)
+			}
+			trueMedRank := rankAmong(perm[:seen], med)
+			rel := math.Abs(trueMedRank-0.5*float64(seen)) / (0.5 * float64(seen))
+			fmt.Printf("%12d %10d %8d %10d %12.5f\n",
+				seen, unknown.NumLevels(), unknown.K(), unknown.ItemsRetained(), rel)
+		}
+	}
+
+	fmt.Printf("\nfinal footprints: unknown-n %d items vs known-n %d items\n",
+		unknown.ItemsRetained(), known.ItemsRetained())
+	fmt.Println("\nSection 5's promise: the squaring schedule costs only a constant factor in")
+	fmt.Println("space and nothing in accuracy — the two sketches are interchangeable.")
+}
+
+// rankAmong counts values ≤ y in vs (exact, O(len)).
+func rankAmong(vs []int, y float64) float64 {
+	cnt := 0
+	for _, v := range vs {
+		if float64(v) <= y {
+			cnt++
+		}
+	}
+	return float64(cnt)
+}

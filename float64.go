@@ -1,0 +1,46 @@
+package req
+
+import (
+	"math"
+)
+
+// Float64 is a sketch specialised to float64 values, the common case for
+// measurements such as latencies. It adds NaN filtering and binary
+// serialization on top of Sketch[float64]. Not safe for concurrent use.
+type Float64 struct {
+	Sketch[float64]
+}
+
+// NewFloat64 returns an empty float64 sketch configured by opts. Values
+// compare by the usual < order.
+func NewFloat64(opts ...Option) (*Float64, error) {
+	s, err := New(func(a, b float64) bool { return a < b }, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Float64{Sketch: *s}, nil
+}
+
+// Update inserts one value. NaN values are ignored (they have no place in
+// a total order); ±Inf are accepted and behave as extreme values.
+func (s *Float64) Update(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	s.Sketch.Update(v)
+}
+
+// UpdateAll inserts every value of the slice, skipping NaNs.
+func (s *Float64) UpdateAll(vs []float64) {
+	for _, v := range vs {
+		s.Update(v)
+	}
+}
+
+// Merge absorbs other into s; see Sketch.Merge.
+func (s *Float64) Merge(other *Float64) error {
+	if other == nil {
+		return nil
+	}
+	return s.Sketch.Merge(&other.Sketch)
+}

@@ -1,0 +1,107 @@
+package req
+
+import (
+	"math"
+	"testing"
+)
+
+// Fuzz targets: `go test -fuzz=FuzzDecodeFloat64` explores further; in
+// normal test runs the seed corpus exercises the paths.
+
+// FuzzDecodeFloat64 asserts the decoder never panics and that anything it
+// accepts is a structurally valid sketch.
+func FuzzDecodeFloat64(f *testing.F) {
+	// Seed corpus: valid encodings of various shapes plus garbage.
+	empty, _ := NewFloat64(WithEpsilon(0.1))
+	blob, _ := empty.MarshalBinary()
+	f.Add(blob)
+
+	full := mustFuzzSketch()
+	blob2, _ := full.MarshalBinary()
+	f.Add(blob2)
+	f.Add([]byte{})
+	f.Add([]byte("REQ1"))
+	f.Add(blob2[:len(blob2)/2])
+	mut := append([]byte(nil), blob2...)
+	mut[10] ^= 0xFF
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeFloat64(data)
+		if err != nil {
+			return
+		}
+		// Accepted sketches must be internally consistent and usable.
+		if s.Count() > 0 {
+			if _, err := s.Quantile(0.5); err != nil {
+				t.Fatalf("accepted sketch cannot answer quantile: %v", err)
+			}
+		}
+		_ = s.Rank(0)
+		if _, err := s.MarshalBinary(); err != nil {
+			t.Fatalf("accepted sketch cannot re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzUpdateRank asserts basic sanity for arbitrary input values: counts
+// track updates, ranks are monotone and bounded, quantiles invert ranks.
+func FuzzUpdateRank(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(0))
+	f.Add([]byte{255, 0, 255, 0}, uint8(1))
+	f.Fuzz(func(t *testing.T, raw []byte, seed uint8) {
+		s, err := NewFloat64(WithEpsilon(0.1), WithSeed(uint64(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := uint64(0)
+		for i := 0; i+8 <= len(raw); i += 8 {
+			bits := uint64(0)
+			for j := 0; j < 8; j++ {
+				bits = bits<<8 | uint64(raw[i+j])
+			}
+			v := math.Float64frombits(bits)
+			if math.IsNaN(v) {
+				s.Update(v) // must be ignored
+				continue
+			}
+			s.Update(v)
+			n++
+		}
+		if s.Count() != n {
+			t.Fatalf("count %d after %d non-NaN updates", s.Count(), n)
+		}
+		if n == 0 {
+			return
+		}
+		mn, _ := s.Min()
+		mx, _ := s.Max()
+		if s.Rank(mx) != n {
+			t.Fatalf("Rank(max) = %d, want %d", s.Rank(mx), n)
+		}
+		if s.RankExclusive(mn) != 0 {
+			t.Fatal("RankExclusive(min) != 0")
+		}
+		q, err := s.Quantile(0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.less(q, mn) || s.less(mx, q) {
+			t.Fatalf("median %v outside [min, max]", q)
+		}
+	})
+}
+
+// less re-exposed for the fuzz assertions (float64 order).
+func (s *Float64) less(a, b float64) bool { return a < b }
+
+func mustFuzzSketch() *Float64 {
+	s, err := NewFloat64(WithEpsilon(0.1), WithSeed(9))
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 30000; i++ {
+		s.Update(float64(i % 977))
+	}
+	return s
+}

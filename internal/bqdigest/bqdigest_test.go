@@ -1,0 +1,251 @@
+package bqdigest
+
+import (
+	"math"
+	"testing"
+
+	"req/internal/rng"
+)
+
+func feed(s *Sketch, n int, seed uint64) {
+	r := rng.New(seed)
+	for _, v := range r.Perm(n) {
+		if err := s.Update(uint64(v)); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, eps := range []float64{0, -1, 1} {
+		if _, err := New(eps, 16); err == nil {
+			t.Errorf("eps=%v accepted", eps)
+		}
+	}
+	for _, bits := range []uint{0, 41, 64} {
+		if _, err := New(0.05, bits); err == nil {
+			t.Errorf("bits=%d accepted", bits)
+		}
+	}
+}
+
+func TestUpdateValidation(t *testing.T) {
+	s, _ := New(0.05, 8)
+	if err := s.Update(256); err == nil {
+		t.Fatal("out-of-universe value accepted")
+	}
+	if err := s.Update(255); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterval(t *testing.T) {
+	s, _ := New(0.05, 4) // universe [0, 16)
+	lo, hi := s.interval(1)
+	if lo != 0 || hi != 15 {
+		t.Fatalf("root interval [%d, %d]", lo, hi)
+	}
+	lo, hi = s.interval(2)
+	if lo != 0 || hi != 7 {
+		t.Fatalf("left child [%d, %d]", lo, hi)
+	}
+	lo, hi = s.interval(3)
+	if lo != 8 || hi != 15 {
+		t.Fatalf("right child [%d, %d]", lo, hi)
+	}
+	// Leaf for value 5: id = 16 | 5 = 21.
+	lo, hi = s.interval(21)
+	if lo != 5 || hi != 5 {
+		t.Fatalf("leaf interval [%d, %d]", lo, hi)
+	}
+}
+
+func TestExactSmallStream(t *testing.T) {
+	s, _ := New(0.1, 10)
+	for v := uint64(0); v < 50; v++ {
+		if err := s.Update(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for q := uint64(1); q <= 50; q += 7 {
+		if got := s.Rank(q - 1); got != q {
+			t.Fatalf("Rank(%d) = %d, want %d", q-1, got, q)
+		}
+	}
+}
+
+func TestRelativeErrorBound(t *testing.T) {
+	const n = 1 << 16
+	const eps = 0.1
+	s, _ := New(eps, 16)
+	feed(s, n, 1)
+	s.Compress()
+	for rank := 1; rank <= n; rank *= 2 {
+		got := float64(s.Rank(uint64(rank - 1)))
+		rel := math.Abs(got-float64(rank)) / float64(rank)
+		if rel > eps {
+			t.Errorf("rank %d: estimate %v rel %.4f > ε", rank, got, rel)
+		}
+	}
+}
+
+func TestCompressShrinks(t *testing.T) {
+	const n = 1 << 15
+	s, _ := New(0.1, 15)
+	feed(s, n, 2)
+	s.Compress()
+	// Deterministic space O(ε⁻¹·log(εn)·log U): far below n.
+	if got := s.ItemsRetained(); got > n/4 {
+		t.Fatalf("retained %d nodes of %d items", got, n)
+	}
+}
+
+func TestWeightConserved(t *testing.T) {
+	s, _ := New(0.1, 14)
+	feed(s, 10000, 3)
+	s.Compress()
+	var total uint64
+	for _, c := range s.nodes {
+		total += c
+	}
+	if total != s.N() {
+		t.Fatalf("node counts %d != n %d", total, s.N())
+	}
+}
+
+func TestRankMonotone(t *testing.T) {
+	s, _ := New(0.1, 14)
+	feed(s, 10000, 4)
+	s.Compress()
+	prev := uint64(0)
+	for y := uint64(0); y < 10000; y += 97 {
+		got := s.Rank(y)
+		if got < prev {
+			t.Fatalf("rank decreased at %d", y)
+		}
+		prev = got
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	const n = 1 << 14
+	s, _ := New(0.05, 14)
+	feed(s, n, 5)
+	for _, phi := range []float64{0.01, 0.1, 0.5, 0.9} {
+		q, err := s.Quantile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRank := phi * n
+		gotRank := float64(q + 1)
+		if wantRank >= 32 && math.Abs(gotRank-wantRank)/wantRank > 0.15 {
+			t.Errorf("phi=%v: quantile %d (rank %v), want %v", phi, q, gotRank, wantRank)
+		}
+	}
+}
+
+func TestQuantileRejectsBad(t *testing.T) {
+	s, _ := New(0.1, 8)
+	_ = s.Update(1)
+	for _, phi := range []float64{-1, 2, math.NaN()} {
+		if _, err := s.Quantile(phi); err == nil {
+			t.Errorf("Quantile(%v) accepted", phi)
+		}
+	}
+	empty, _ := New(0.1, 8)
+	if _, err := empty.Quantile(0.5); err == nil {
+		t.Fatal("quantile on empty accepted")
+	}
+}
+
+func TestLowRanksStayAccurate(t *testing.T) {
+	// The biased threshold protects low ranks: after heavy compression the
+	// smallest items should still have near-exact ranks.
+	const n = 1 << 16
+	s, _ := New(0.1, 16)
+	feed(s, n, 6)
+	s.Compress()
+	for rank := 1; rank <= 16; rank++ {
+		got := s.Rank(uint64(rank - 1))
+		if math.Abs(float64(got)-float64(rank)) > 1+0.1*float64(rank) {
+			t.Errorf("low rank %d estimated %d", rank, got)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	const n = 1 << 14
+	a, _ := New(0.1, 14)
+	b, _ := New(0.1, 14)
+	r := rng.New(7)
+	for i, v := range r.Perm(n) {
+		if i%2 == 0 {
+			_ = a.Update(uint64(v))
+		} else {
+			_ = b.Update(uint64(v))
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != n {
+		t.Fatalf("merged N = %d", a.N())
+	}
+	for rank := 4; rank <= n; rank *= 4 {
+		got := float64(a.Rank(uint64(rank - 1)))
+		rel := math.Abs(got-float64(rank)) / float64(rank)
+		if rel > 0.12 {
+			t.Errorf("merged rank %d: rel %.4f", rank, rel)
+		}
+	}
+}
+
+func TestMergeValidation(t *testing.T) {
+	a, _ := New(0.1, 14)
+	b, _ := New(0.2, 14)
+	_ = b.Update(1)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("different eps accepted")
+	}
+	c, _ := New(0.1, 12)
+	_ = c.Update(1)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("different bits accepted")
+	}
+	_ = a.Update(1)
+	if err := a.Merge(a); err == nil {
+		t.Fatal("self merge accepted")
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	s, _ := New(0.1, 10)
+	if s.Quantize(0, 0, 1) != 0 {
+		t.Fatal("low end wrong")
+	}
+	if s.Quantize(1, 0, 1) != 1023 {
+		t.Fatal("high end wrong")
+	}
+	if s.Quantize(-5, 0, 1) != 0 || s.Quantize(7, 0, 1) != 1023 {
+		t.Fatal("clamping wrong")
+	}
+	if s.Quantize(1, 1, 1) != 0 {
+		t.Fatal("degenerate range wrong")
+	}
+	mid := s.Quantize(0.5, 0, 1)
+	if mid < 500 || mid > 523 {
+		t.Fatalf("midpoint = %d", mid)
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	cases := []struct {
+		x    uint64
+		want int
+	}{{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {255, 8}, {256, 9}}
+	for _, c := range cases {
+		if got := bitLen(c.x); got != c.want {
+			t.Errorf("bitLen(%d) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"req/internal/rng"
+)
+
+// Statistical validation of the paper's guarantees across many independent
+// seeds. These tests use fixed master seeds so they are deterministic, with
+// enough trials that the asserted bounds carry real statistical weight.
+
+// trialMaxRelErr feeds one permutation stream and returns the worst
+// relative error over power-of-two ranks.
+func trialMaxRelErr(t *testing.T, cfg Config, n int, seed uint64) float64 {
+	t.Helper()
+	cfg.Seed = seed
+	s, err := New(fless, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(seed ^ 0xabcdef)
+	for _, v := range r.Perm(n) {
+		s.Update(float64(v))
+	}
+	worst := 0.0
+	for rank := 1; rank <= n; rank *= 2 {
+		est := float64(s.Rank(float64(rank - 1)))
+		rel := math.Abs(est-float64(rank)) / float64(rank)
+		if rel > worst {
+			worst = rel
+		}
+	}
+	return worst
+}
+
+func TestTheorem1ErrorDistribution(t *testing.T) {
+	// 48 seeds at ε=0.1, δ=0.05: the p95 of worst-rank relative error must
+	// stay below ε, and the median far below it.
+	const n = 1 << 16
+	const trials = 48
+	cfg := Config{Eps: 0.1, Delta: 0.05}
+	var errs []float64
+	for i := 0; i < trials; i++ {
+		errs = append(errs, trialMaxRelErr(t, cfg, n, uint64(1000+i)))
+	}
+	sortSlice(errs, fless)
+	p50 := errs[trials/2]
+	p95 := errs[trials*95/100]
+	if p95 > 0.1 {
+		t.Fatalf("p95 of max rel err = %v > ε", p95)
+	}
+	if p50 > 0.05 {
+		t.Fatalf("median of max rel err = %v suspiciously close to ε", p50)
+	}
+}
+
+func TestErrorScalesWithEpsilon(t *testing.T) {
+	// Halving ε should roughly halve the observed error (linear 1/ε space
+	// for linear accuracy — the defining trade-off).
+	const n = 1 << 16
+	measure := func(eps float64) float64 {
+		var total float64
+		const trials = 12
+		for i := 0; i < trials; i++ {
+			total += trialMaxRelErr(t, Config{Eps: eps, Delta: 0.05}, n, uint64(2000+i))
+		}
+		return total / trials
+	}
+	coarse := measure(0.2)
+	fine := measure(0.05)
+	if fine >= coarse {
+		t.Fatalf("error did not shrink with ε: %.5f (ε=0.2) vs %.5f (ε=0.05)", coarse, fine)
+	}
+	if coarse/fine < 2 {
+		t.Logf("note: error ratio %.2f below the ~4x ε ratio (acceptable, constants differ)", coarse/fine)
+	}
+}
+
+func TestErrorUnbiasedAcrossSeeds(t *testing.T) {
+	// Observation 4 ⇒ estimates are unbiased: averaging the signed error
+	// at a fixed rank across seeds must concentrate near zero.
+	const n = 1 << 16
+	const trials = 64
+	const rank = 10000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		cfg := Config{Eps: 0.1, Delta: 0.1, Seed: uint64(3000 + i)}
+		s, err := New(fless, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(uint64(4000 + i))
+		for _, v := range r.Perm(n) {
+			s.Update(float64(v))
+		}
+		est := float64(s.Rank(rank - 1))
+		sum += (est - rank) / rank
+	}
+	mean := sum / trials
+	// Per-trial std is ≲ ε/2; the mean of 64 trials should be within
+	// ~4·ε/(2·√64) = ε/4 of zero. Use ε/3 for slack.
+	if math.Abs(mean) > 0.1/3 {
+		t.Fatalf("mean signed error %v indicates bias", mean)
+	}
+}
+
+func TestVarianceShrinksWithK(t *testing.T) {
+	// Fixed-k mode: quadrupling k should cut the error roughly in half
+	// (error ∝ 1/k per the variance analysis in Section 2.3).
+	const n = 1 << 16
+	measure := func(k int) float64 {
+		var total float64
+		const trials = 12
+		for i := 0; i < trials; i++ {
+			total += trialMaxRelErr(t, Config{Mode: ModeFixedK, K: k}, n, uint64(5000+i))
+		}
+		return total / trials
+	}
+	small := measure(16)
+	big := measure(64)
+	if big >= small {
+		t.Fatalf("error did not shrink with k: k=16 → %.5f, k=64 → %.5f", small, big)
+	}
+}
+
+func TestHRAMirrorSymmetry(t *testing.T) {
+	// An HRA sketch on stream S should behave like an LRA sketch on the
+	// negated stream with mirrored queries: tail ranks become exact.
+	const n = 1 << 16
+	hra, err := New(fless, Config{Eps: 0.1, Delta: 0.1, Seed: 1, HRA: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lraNeg, err := New(fless, Config{Eps: 0.1, Delta: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(77)
+	for _, v := range r.Perm(n) {
+		hra.Update(float64(v))
+		lraNeg.Update(-float64(v))
+	}
+	// #items ≥ y in HRA stream = #items ≤ -y in negated stream.
+	for _, y := range []float64{float64(n - 1), float64(n - 10), float64(n - 100)} {
+		ge := hra.Count() - hra.RankExclusive(y)
+		le := lraNeg.Rank(-y)
+		// Both protected sides are exact here, so they must agree exactly.
+		if ge != le {
+			t.Fatalf("mirror mismatch at %v: %d vs %d", y, ge, le)
+		}
+	}
+}
+
+func TestAccuracyOnDuplicateHeavyZipf(t *testing.T) {
+	// Heavy duplication: ranks of the few distinct values must still meet
+	// the guarantee (ties are where comparison-based code often breaks).
+	const n = 1 << 16
+	cfg := Config{Eps: 0.1, Delta: 0.05, Seed: 9}
+	s, err := New(fless, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(10)
+	counts := map[int]int{}
+	for i := 0; i < n; i++ {
+		// Discrete zipf-ish: value v with probability ∝ 1/(v+1).
+		v := r.Intn(r.Intn(100) + 1)
+		counts[v]++
+		s.Update(float64(v))
+	}
+	run := 0
+	for v := 0; v < 100; v++ {
+		c, ok := counts[v]
+		if !ok {
+			continue
+		}
+		run += c
+		est := float64(s.Rank(float64(v)))
+		rel := math.Abs(est-float64(run)) / float64(run)
+		if rel > 0.1 {
+			t.Fatalf("zipf value %d (true rank %d): rel err %.4f", v, run, rel)
+		}
+	}
+}
+
+func TestLongStreamSingleSketch(t *testing.T) {
+	// One long stream (multiple growths) keeping the guarantee end to end;
+	// also verifies the level count stays logarithmic.
+	if testing.Short() {
+		t.Skip("long stream test")
+	}
+	const n = 1 << 21
+	cfg := Config{Eps: 0.05, Delta: 0.01, Seed: 20, N0: 1 << 10}
+	s, err := New(fless, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(21)
+	for _, v := range r.Perm(n) {
+		s.Update(float64(v))
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Growths < 2 {
+		t.Fatalf("expected ≥ 2 growths from N0=4096, got %d", s.Stats().Growths)
+	}
+	for rank := 1; rank <= n; rank *= 8 {
+		est := float64(s.Rank(float64(rank - 1)))
+		rel := math.Abs(est-float64(rank)) / float64(rank)
+		if rel > 0.05 {
+			t.Errorf("rank %d: rel %.4f", rank, rel)
+		}
+	}
+	if s.NumLevels() > 32 {
+		t.Fatalf("level explosion: %d levels", s.NumLevels())
+	}
+}

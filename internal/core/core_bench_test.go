@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"req/internal/rng"
+)
+
+// Micro-benchmarks of the engine's hot paths, complementing the end-to-end
+// throughput benches at the repository root.
+
+func BenchmarkCoreUpdate(b *testing.B) {
+	s, err := New(fless, Config{Eps: 0.01, Delta: 0.01, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	vals := make([]float64, 1<<16)
+	for i := range vals {
+		vals[i] = r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Update(vals[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkCoreUpdateWeighted(b *testing.B) {
+	s, err := New(fless, Config{Eps: 0.01, Delta: 0.01, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	vals := make([]float64, 1<<12)
+	for i := range vals {
+		vals[i] = r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.UpdateWeighted(vals[i&(1<<12-1)], 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoreRankScan(b *testing.B) {
+	s, err := New(fless, Config{Eps: 0.01, Delta: 0.01, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	for i := 0; i < 1<<20; i++ {
+		s.Update(r.Float64())
+	}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Rank(float64(i&1023) / 1024)
+	}
+	_ = sink
+}
+
+func BenchmarkCoreSortedViewBuild(b *testing.B) {
+	s, err := New(fless, Config{Eps: 0.01, Delta: 0.01, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	for i := 0; i < 1<<20; i++ {
+		s.Update(r.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.view = nil // force rebuild
+		_ = s.SortedView()
+	}
+}
+
+func BenchmarkCoreViewRank(b *testing.B) {
+	s, err := New(fless, Config{Eps: 0.01, Delta: 0.01, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	for i := 0; i < 1<<20; i++ {
+		s.Update(r.Float64())
+	}
+	v := s.SortedView()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += v.Rank(float64(i&1023) / 1024)
+	}
+	_ = sink
+}
+
+func BenchmarkCoreSnapshot(b *testing.B) {
+	s, err := New(fless, Config{Eps: 0.01, Delta: 0.01, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	for i := 0; i < 1<<20; i++ {
+		s.Update(r.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Snapshot()
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"errors"
+
+	"req/internal/schedule"
+)
+
+// add accumulates o into st field-wise (counters add, high-water max).
+func (st *Stats) add(o Stats) {
+	st.Compactions += o.Compactions
+	st.SpecialCompactions += o.SpecialCompactions
+	st.Growths += o.Growths
+	st.Merges += o.Merges
+	st.CoinFlips += o.CoinFlips
+	if o.MaxBufferLen > st.MaxBufferLen {
+		st.MaxBufferLen = o.MaxBufferLen
+	}
+}
+
+// sub subtracts o from st field-wise; MaxBufferLen is left alone.
+func (st *Stats) sub(o Stats) {
+	st.Compactions -= o.Compactions
+	st.SpecialCompactions -= o.SpecialCompactions
+	st.Growths -= o.Growths
+	st.Merges -= o.Merges
+	st.CoinFlips -= o.CoinFlips
+}
+
+// Merge absorbs other into s (Algorithm 3, Appendix D). After the call, s
+// summarises the concatenation of both inputs with the guarantees of
+// Theorem 3; other is left untouched (it is deep-copied internally when its
+// buffers must be modified).
+//
+// The steps follow the paper:
+//  1. the taller sketch is the target, the shorter the source;
+//  2. if the combined n exceeds the target's bound N, the target receives a
+//     special compaction at every level, N squares, and the geometry (k, B)
+//     is recomputed — repeated until N ≥ n (a single squaring in all but
+//     pathological bound configurations);
+//  3. if the source's bound is behind the new N, the source receives a
+//     special compaction too (under its own geometry);
+//  4. schedule states combine with bitwise OR (Facts 18/19), buffers
+//     concatenate level-wise;
+//  5. a bottom-up sweep compacts every level holding ≥ B items.
+//
+// Merging sketches with incompatible configurations (different accuracy
+// driver, schedule, constant regime, or rank-accuracy side) is an error.
+func (s *Sketch[T]) Merge(other *Sketch[T]) error {
+	if other == nil || other.n == 0 {
+		return nil
+	}
+	if other == s {
+		return errors.New("core: cannot merge a sketch into itself")
+	}
+	if err := s.cfg.Compatible(&other.cfg); err != nil {
+		return err
+	}
+	s.view = nil
+	if s.n == 0 {
+		// Adopt a deep copy of other wholesale, keeping s's seed identity.
+		c := other.clone()
+		c.rnd = s.rnd
+		c.cfg.Seed = s.cfg.Seed
+		*s = *c
+		return nil
+	}
+
+	// Historical counters of both inputs; deltas accumulated during the
+	// merge are reconciled at the end so nothing is double-counted.
+	sStats, oStats := s.stats, other.stats
+
+	// Choose target m (taller) and source src (shorter). m is always safe
+	// to mutate; the final state is copied into s.
+	var m, src *Sketch[T]
+	if len(other.levels) > len(s.levels) {
+		m = other.clone()
+		// The merged sketch continues s's random stream so that a caller
+		// holding s sees deterministic behaviour under a fixed seed.
+		m.rnd = s.rnd
+		m.cfg.Seed = s.cfg.Seed
+		src = s
+	} else {
+		m = s
+		src = other
+	}
+	mBase, srcBase := m.stats, src.stats
+	total := s.n + other.n
+
+	// Step 2: raise the target's bound to cover the combined length.
+	if m.bound < total {
+		for h := 0; h < len(m.levels)-1; h++ {
+			m.specialCompactLevel(h)
+		}
+		for m.bound < total && m.bound < maxBound {
+			m.bound = squareBound(m.bound)
+		}
+		m.geom = m.cfg.geometryFor(m.bound)
+		m.stats.Growths++
+	}
+
+	// Step 3: if the source's geometry lags the target's, special-compact
+	// the source (on a private copy, under the source's own geometry).
+	if src.bound < m.bound {
+		needsSpecial := false
+		for h := 0; h < len(src.levels)-1; h++ {
+			if len(src.levels[h].buf) > src.geom.b/2 {
+				needsSpecial = true
+				break
+			}
+		}
+		if needsSpecial {
+			src = src.clone()
+			src.rnd = m.rnd
+			for h := 0; h < len(src.levels)-1; h++ {
+				src.specialCompactLevel(h)
+			}
+		}
+	}
+
+	// Step 4: combine states and concatenate buffers level by level.
+	for h := range src.levels {
+		if h >= len(m.levels) {
+			m.levels = append(m.levels, compactor[T]{buf: make([]T, 0, m.geom.b)})
+		}
+		dst := &m.levels[h]
+		dst.state = schedule.Combine(dst.state, src.levels[h].state)
+		dst.buf = append(dst.buf, src.levels[h].buf...)
+		if len(dst.buf) > m.stats.MaxBufferLen {
+			m.stats.MaxBufferLen = len(dst.buf)
+		}
+	}
+	m.n = total
+
+	if src.hasMinMax {
+		if !m.hasMinMax {
+			m.min, m.max, m.hasMinMax = src.min, src.max, true
+		} else {
+			if m.less(src.min, m.min) {
+				m.min = src.min
+			}
+			if m.less(m.max, src.max) {
+				m.max = src.max
+			}
+		}
+	}
+
+	// Step 5: bottom-up sweep; compacting level h can push level h+1 over
+	// capacity, which the loop reaches next.
+	m.compactCascade(0)
+
+	// Reconcile counters: historical(s) + historical(other) + work done
+	// during this merge on m and on the source copy.
+	merged := sStats
+	merged.add(oStats)
+	mDelta := m.stats
+	mDelta.sub(mBase)
+	srcDelta := src.stats
+	srcDelta.sub(srcBase)
+	merged.add(mDelta)
+	merged.add(srcDelta)
+	merged.Merges++
+	if m.stats.MaxBufferLen > merged.MaxBufferLen {
+		merged.MaxBufferLen = m.stats.MaxBufferLen
+	}
+	m.stats = merged
+
+	if m != s {
+		*s = *m
+	}
+	return nil
+}

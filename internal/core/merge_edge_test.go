@@ -1,0 +1,229 @@
+package core
+
+// Merge edge cases targeting the Appendix D machinery: bound mismatches in
+// both directions, geometry recomputation mid-merge, schedule-state OR
+// semantics, and high-volume pairwise merging.
+
+import (
+	"math"
+	"testing"
+
+	"req/internal/rng"
+	"req/internal/schedule"
+)
+
+func TestMergeShortWithLargerBound(t *testing.T) {
+	// The source (shorter) sketch has a LARGER bound than the target: the
+	// target must grow to cover the combined stream, and the source's
+	// special compaction must be skipped (its geometry is already ahead).
+	cfgSmall := Config{Eps: 0.1, Delta: 0.1, N0: 1 << 12}
+	cfgBig := Config{Eps: 0.1, Delta: 0.1, N0: 1 << 26}
+	tall := newFloat64(t, cfgSmall)
+	short := newFloat64(t, cfgBig)
+	tall.cfg.Seed = 1
+	short.cfg.Seed = 2
+	perm := rng.New(3).Perm(60000)
+	for i, v := range perm {
+		if i < 50000 {
+			tall.Update(float64(v))
+		} else {
+			short.Update(float64(v))
+		}
+	}
+	if short.Bound() <= tall.Bound() {
+		t.Fatalf("setup: short bound %d vs tall bound %d", short.Bound(), tall.Bound())
+	}
+	if err := tall.Merge(short); err != nil {
+		t.Fatal(err)
+	}
+	if err := tall.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if rel := mergeRelErr(t, tall, 60000); rel > 0.1 {
+		t.Fatalf("rel error %.4f", rel)
+	}
+}
+
+func TestMergeBothBelowHalfBound(t *testing.T) {
+	// Neither sketch needs growth: bound covers the sum; no special
+	// compactions should run.
+	cfg := Config{Eps: 0.1, Delta: 0.1, N0: 1 << 20}
+	a := newFloat64(t, cfg)
+	b := newFloat64(t, cfg)
+	a.cfg.Seed = 4
+	b.cfg.Seed = 5
+	perm := rng.New(6).Perm(100000)
+	for i, v := range perm {
+		if i%2 == 0 {
+			a.Update(float64(v))
+		} else {
+			b.Update(float64(v))
+		}
+	}
+	pre := a.Stats().SpecialCompactions + b.Stats().SpecialCompactions
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats().SpecialCompactions != pre {
+		t.Fatalf("special compactions ran without a bound change: %d → %d",
+			pre, a.Stats().SpecialCompactions)
+	}
+	if a.Bound() != 1<<20 {
+		t.Fatalf("bound changed to %d", a.Bound())
+	}
+}
+
+func TestMergeStatesAreORed(t *testing.T) {
+	cfg := Config{Mode: ModeFixedK, K: 8, N0: 1 << 22}
+	a := newFloat64(t, cfg)
+	b := newFloat64(t, cfg)
+	a.cfg.Seed = 7
+	b.cfg.Seed = 8
+	// Drive different compaction counts into each sketch's level 0.
+	for i := 0; i < 40000; i++ {
+		a.Update(float64(i))
+	}
+	for i := 0; i < 10000; i++ {
+		b.Update(float64(i))
+	}
+	sa := a.levels[0].state
+	sb := b.levels[0].state
+	if sa == 0 || sb == 0 {
+		t.Fatal("setup: expected nonzero states")
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	got := a.levels[0].state
+	want := schedule.Combine(sa, sb)
+	// The final sweep may compact level 0 once more (state+1).
+	if got != want && got != want.Next() {
+		t.Fatalf("level-0 state %b, want OR %b (or +1)", got, want)
+	}
+}
+
+func TestMergeManyTinySketches(t *testing.T) {
+	// 512 two-item sketches merged pairwise: stresses the empty/short
+	// paths and confirms exact weight conservation throughout.
+	cfg := Config{Eps: 0.1, Delta: 0.1}
+	acc := newFloat64(t, cfg)
+	for i := 0; i < 512; i++ {
+		s := newFloat64(t, cfg)
+		s.cfg.Seed = uint64(i)
+		s.Update(float64(2 * i))
+		s.Update(float64(2*i + 1))
+		if err := acc.Merge(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if acc.Count() != 1024 {
+		t.Fatalf("count = %d", acc.Count())
+	}
+	if err := acc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for rank := 1; rank <= 1024; rank *= 2 {
+		got := float64(acc.Rank(float64(rank - 1)))
+		if math.Abs(got-float64(rank))/float64(rank) > 0.1 {
+			t.Fatalf("rank %d: %v", rank, got)
+		}
+	}
+}
+
+func TestMergeChainAlternatingDirections(t *testing.T) {
+	// Alternate which operand is the receiver; the result must not depend
+	// on who absorbed whom beyond randomness.
+	cfg := Config{Eps: 0.05, Delta: 0.05}
+	perm := rng.New(9).Perm(1 << 16)
+	build := func(leftToRight bool, seedBase uint64) *Sketch[float64] {
+		shards := make([]*Sketch[float64], 8)
+		per := len(perm) / 8
+		for i := range shards {
+			shards[i] = newFloat64(t, cfg)
+			shards[i].cfg.Seed = seedBase + uint64(i)
+			for _, v := range perm[i*per : (i+1)*per] {
+				shards[i].Update(float64(v))
+			}
+		}
+		acc := shards[0]
+		for i := 1; i < len(shards); i++ {
+			if leftToRight {
+				if err := acc.Merge(shards[i]); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				if err := shards[i].Merge(acc); err != nil {
+					t.Fatal(err)
+				}
+				acc = shards[i]
+			}
+		}
+		return acc
+	}
+	l2r := build(true, 100)
+	r2l := build(false, 200)
+	for _, s := range []*Sketch[float64]{l2r, r2l} {
+		if s.Count() != uint64(len(perm)) {
+			t.Fatalf("count = %d", s.Count())
+		}
+		if rel := mergeRelErr(t, s, len(perm)); rel > 0.05 {
+			t.Fatalf("rel error %.4f", rel)
+		}
+	}
+}
+
+func TestMergeAfterManyGrowths(t *testing.T) {
+	// Both operands have squared their bounds several times before the
+	// merge; the combined sketch must still satisfy everything.
+	cfg := Config{Eps: 0.1, Delta: 0.1, N0: 1 << 10}
+	a := newFloat64(t, cfg)
+	b := newFloat64(t, cfg)
+	a.cfg.Seed = 10
+	b.cfg.Seed = 11
+	perm := rng.New(12).Perm(1 << 17)
+	for i, v := range perm {
+		if i%2 == 0 {
+			a.Update(float64(v))
+		} else {
+			b.Update(float64(v))
+		}
+	}
+	if a.Stats().Growths == 0 || b.Stats().Growths == 0 {
+		t.Fatal("setup: expected growths")
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if rel := mergeRelErr(t, a, 1<<17); rel > 0.1 {
+		t.Fatalf("rel error %.4f", rel)
+	}
+}
+
+func TestMergeWeightedSketchesAcrossBounds(t *testing.T) {
+	cfg := Config{Eps: 0.1, Delta: 0.1, N0: 1 << 12}
+	a := newFloat64(t, cfg)
+	b := newFloat64(t, cfg)
+	a.cfg.Seed = 13
+	b.cfg.Seed = 14
+	for i := 0; i < 200; i++ {
+		if err := a.UpdateWeighted(float64(i), 1000); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.UpdateWeighted(float64(200+i), 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 400000 {
+		t.Fatalf("count = %d", a.Count())
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := float64(a.Rank(199))
+	if math.Abs(got-200000)/200000 > 0.1 {
+		t.Fatalf("Rank(199) = %v", got)
+	}
+}

@@ -1,0 +1,485 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"req/internal/rng"
+	"req/internal/schedule"
+)
+
+// mergeRelErr feeds a permutation of 0..n-1 split across shards, merges via
+// the given strategy, and returns the max relative rank error over a
+// logarithmic rank sweep.
+func mergeRelErr(t *testing.T, merged *Sketch[float64], n int) float64 {
+	t.Helper()
+	if merged.Count() != uint64(n) {
+		t.Fatalf("merged count = %d, want %d", merged.Count(), n)
+	}
+	if err := merged.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	maxRel := 0.0
+	for rank := 1; rank <= n; rank *= 2 {
+		got := merged.Rank(float64(rank - 1))
+		rel := math.Abs(float64(got)-float64(rank)) / float64(rank)
+		if rel > maxRel {
+			maxRel = rel
+		}
+	}
+	return maxRel
+}
+
+func shardValues(n, shards int, seed uint64) [][]float64 {
+	r := rng.New(seed)
+	perm := r.Perm(n)
+	out := make([][]float64, shards)
+	per := n / shards
+	for i := 0; i < shards; i++ {
+		lo, hi := i*per, (i+1)*per
+		if i == shards-1 {
+			hi = n
+		}
+		vals := make([]float64, 0, hi-lo)
+		for _, v := range perm[lo:hi] {
+			vals = append(vals, float64(v))
+		}
+		out[i] = vals
+	}
+	return out
+}
+
+func TestMergeTwoHalves(t *testing.T) {
+	const n = 1 << 17
+	cfg := Config{Eps: 0.05, Delta: 0.01}
+	shards := shardValues(n, 2, 200)
+	a := newFloat64(t, cfg)
+	b := newFloat64(t, cfg)
+	a.cfg.Seed = 1
+	b.cfg.Seed = 2
+	for _, v := range shards[0] {
+		a.Update(v)
+	}
+	for _, v := range shards[1] {
+		b.Update(v)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if rel := mergeRelErr(t, a, n); rel > 0.05 {
+		t.Fatalf("merged max relative error %.4f > ε", rel)
+	}
+}
+
+func TestMergeLeavesSourceIntact(t *testing.T) {
+	cfg := Config{Eps: 0.1, Delta: 0.1}
+	a := newFloat64(t, cfg)
+	b := newFloat64(t, cfg)
+	feedPerm(t, a, 50000, 201)
+	feedPerm(t, b, 50000, 202)
+	bCount := b.Count()
+	bRetained := b.ItemsRetained()
+	bRank := b.Rank(25000)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Count() != bCount || b.ItemsRetained() != bRetained || b.Rank(25000) != bRank {
+		t.Fatal("merge mutated the source sketch")
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatalf("source invariants broken: %v", err)
+	}
+}
+
+func TestMergeIntoEmpty(t *testing.T) {
+	cfg := Config{Eps: 0.1, Delta: 0.1}
+	a := newFloat64(t, cfg)
+	b := newFloat64(t, cfg)
+	feedPerm(t, b, 30000, 203)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 30000 {
+		t.Fatalf("count = %d", a.Count())
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// And the copy must be deep: updating a must not disturb b.
+	pre := b.ItemsRetained()
+	for i := 0; i < 100000; i++ {
+		a.Update(float64(i))
+	}
+	if b.ItemsRetained() != pre {
+		t.Fatal("merge into empty aliased source buffers")
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeEmptyOther(t *testing.T) {
+	cfg := Config{Eps: 0.1, Delta: 0.1}
+	a := newFloat64(t, cfg)
+	b := newFloat64(t, cfg)
+	feedPerm(t, a, 10000, 204)
+	pre := a.Count()
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != pre {
+		t.Fatal("merging empty changed count")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatal("merging nil must be a no-op")
+	}
+}
+
+func TestMergeSelfRejected(t *testing.T) {
+	s := newFloat64(t, Config{})
+	s.Update(1)
+	if err := s.Merge(s); err == nil {
+		t.Fatal("self merge accepted")
+	}
+}
+
+func TestMergeIncompatible(t *testing.T) {
+	a := newFloat64(t, Config{Eps: 0.05, Delta: 0.05})
+	b := newFloat64(t, Config{Eps: 0.1, Delta: 0.05})
+	b.Update(1)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("incompatible merge accepted")
+	}
+	c := newFloat64(t, Config{Eps: 0.05, Delta: 0.05, HRA: true})
+	c.Update(1)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("HRA/LRA merge accepted")
+	}
+	d := newFloat64(t, Config{Eps: 0.05, Delta: 0.05, Schedule: schedule.Naive})
+	d.Update(1)
+	if err := a.Merge(d); err == nil {
+		t.Fatal("cross-schedule merge accepted")
+	}
+}
+
+func TestMergeShorterIntoTaller(t *testing.T) {
+	cfg := Config{Eps: 0.05, Delta: 0.05}
+	tall := newFloat64(t, cfg)
+	short := newFloat64(t, cfg)
+	tall.cfg.Seed = 5
+	short.cfg.Seed = 6
+	const n = 1 << 17
+	shards := shardValues(n+1000, 2, 205)
+	for _, v := range shards[0] {
+		tall.Update(v)
+	}
+	for _, v := range shards[1][:1000] {
+		short.Update(v)
+	}
+	pre := tall.NumLevels()
+	if pre <= short.NumLevels() {
+		t.Fatalf("test setup wrong: tall %d levels, short %d", pre, short.NumLevels())
+	}
+	if err := tall.Merge(short); err != nil {
+		t.Fatal(err)
+	}
+	if err := tall.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeTallerIntoShorter(t *testing.T) {
+	// Receiver shorter than argument: the implementation must swap roles
+	// internally yet leave the result in the receiver.
+	cfg := Config{Eps: 0.05, Delta: 0.05}
+	short := newFloat64(t, cfg)
+	tall := newFloat64(t, cfg)
+	short.cfg.Seed = 7
+	tall.cfg.Seed = 8
+	const n = 1 << 17
+	shards := shardValues(n+1000, 2, 206)
+	for _, v := range shards[0] {
+		tall.Update(v)
+	}
+	for _, v := range shards[1][:1000] {
+		short.Update(v)
+	}
+	tallCount := tall.Count()
+	if err := short.Merge(tall); err != nil {
+		t.Fatal(err)
+	}
+	if short.Count() != tallCount+1000 {
+		t.Fatalf("receiver count = %d", short.Count())
+	}
+	if err := short.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// tall untouched.
+	if tall.Count() != tallCount {
+		t.Fatal("argument mutated")
+	}
+	if err := tall.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeManyShardsSequential(t *testing.T) {
+	const n = 1 << 18
+	const shards = 16
+	cfg := Config{Eps: 0.05, Delta: 0.01}
+	parts := shardValues(n, shards, 207)
+	acc := newFloat64(t, cfg)
+	acc.cfg.Seed = 100
+	for i, part := range parts {
+		sk := newFloat64(t, cfg)
+		sk.cfg.Seed = uint64(300 + i)
+		for _, v := range part {
+			sk.Update(v)
+		}
+		if err := acc.Merge(sk); err != nil {
+			t.Fatal(err)
+		}
+		if err := acc.CheckInvariants(); err != nil {
+			t.Fatalf("after shard %d: %v", i, err)
+		}
+	}
+	if rel := mergeRelErr(t, acc, n); rel > 0.05 {
+		t.Fatalf("sequential merge max rel error %.4f", rel)
+	}
+}
+
+func TestMergeBalancedTree(t *testing.T) {
+	const n = 1 << 18
+	const shards = 16
+	cfg := Config{Eps: 0.05, Delta: 0.01}
+	parts := shardValues(n, shards, 208)
+	level := make([]*Sketch[float64], 0, shards)
+	for i, part := range parts {
+		sk := newFloat64(t, cfg)
+		sk.cfg.Seed = uint64(400 + i)
+		for _, v := range part {
+			sk.Update(v)
+		}
+		level = append(level, sk)
+	}
+	for len(level) > 1 {
+		next := make([]*Sketch[float64], 0, (len(level)+1)/2)
+		for i := 0; i+1 < len(level); i += 2 {
+			if err := level[i].Merge(level[i+1]); err != nil {
+				t.Fatal(err)
+			}
+			next = append(next, level[i])
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	if rel := mergeRelErr(t, level[0], n); rel > 0.05 {
+		t.Fatalf("tree merge max rel error %.4f", rel)
+	}
+}
+
+func TestMergeRandomTrees(t *testing.T) {
+	// Theorem 3 allows an arbitrary sequence of pairwise merges. Build
+	// random merge trees over uneven shards and check the guarantee.
+	const n = 100000
+	cfg := Config{Eps: 0.06, Delta: 0.01}
+	r := rng.New(209)
+	for trial := 0; trial < 3; trial++ {
+		// Random shard sizes.
+		nShards := 5 + r.Intn(10)
+		cuts := make([]int, nShards-1)
+		for i := range cuts {
+			cuts[i] = 1 + r.Intn(n-2)
+		}
+		sortSlice(cuts, func(a, b int) bool { return a < b })
+		perm := r.Perm(n)
+		sketches := make([]*Sketch[float64], 0, nShards)
+		lo := 0
+		for i := 0; i < nShards; i++ {
+			hi := n
+			if i < len(cuts) {
+				hi = cuts[i]
+			}
+			if hi < lo {
+				hi = lo
+			}
+			sk := newFloat64(t, cfg)
+			sk.cfg.Seed = uint64(trial*100 + i)
+			for _, v := range perm[lo:hi] {
+				sk.Update(float64(v))
+			}
+			sketches = append(sketches, sk)
+			lo = hi
+		}
+		// Random pairwise merge order.
+		for len(sketches) > 1 {
+			i := r.Intn(len(sketches))
+			j := r.Intn(len(sketches))
+			if i == j {
+				continue
+			}
+			if err := sketches[i].Merge(sketches[j]); err != nil {
+				t.Fatal(err)
+			}
+			sketches[j] = sketches[len(sketches)-1]
+			sketches = sketches[:len(sketches)-1]
+		}
+		if rel := mergeRelErr(t, sketches[0], n); rel > 0.08 {
+			t.Fatalf("trial %d: random-tree merge max rel error %.4f", trial, rel)
+		}
+	}
+}
+
+func TestMergeUnevenSizes(t *testing.T) {
+	// A tiny sketch into a huge one and vice versa, crossing bound growth.
+	cfg := Config{Eps: 0.05, Delta: 0.01}
+	big := newFloat64(t, cfg)
+	big.cfg.Seed = 1
+	tiny := newFloat64(t, cfg)
+	tiny.cfg.Seed = 2
+	const n = 1 << 18
+	perm := rng.New(210).Perm(n + 5)
+	for _, v := range perm[:n] {
+		big.Update(float64(v))
+	}
+	for _, v := range perm[n:] {
+		tiny.Update(float64(v))
+	}
+	if err := big.Merge(tiny); err != nil {
+		t.Fatal(err)
+	}
+	if rel := mergeRelErr(t, big, n+5); rel > 0.05 {
+		t.Fatalf("uneven merge rel error %.4f", rel)
+	}
+}
+
+func TestMergeMinMax(t *testing.T) {
+	cfg := Config{Eps: 0.1, Delta: 0.1}
+	a := newFloat64(t, cfg)
+	b := newFloat64(t, cfg)
+	for i := 0; i < 1000; i++ {
+		a.Update(float64(i + 1000))
+		b.Update(float64(i))
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	mn, _ := a.Min()
+	mx, _ := a.Max()
+	if mn != 0 || mx != 1999 {
+		t.Fatalf("merged min/max = %v/%v", mn, mx)
+	}
+}
+
+func TestMergeStatsAggregated(t *testing.T) {
+	cfg := Config{Eps: 0.1, Delta: 0.1}
+	a := newFloat64(t, cfg)
+	b := newFloat64(t, cfg)
+	feedPerm(t, a, 100000, 211)
+	feedPerm(t, b, 100000, 212)
+	ca, cb := a.Stats().Compactions, b.Stats().Compactions
+	if ca == 0 || cb == 0 {
+		t.Fatal("setup: expected compactions in both inputs")
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if st.Compactions < ca+cb {
+		t.Fatalf("merged compactions %d < %d+%d", st.Compactions, ca, cb)
+	}
+	if st.Merges != 1 {
+		t.Fatalf("merge count = %d", st.Merges)
+	}
+}
+
+func TestMergeAcrossGrowthBoundary(t *testing.T) {
+	// Two sketches each below the initial bound whose sum exceeds it, so
+	// the merge itself must trigger the N-squaring path.
+	cfg := Config{Eps: 0.1, Delta: 0.1, N0: 1 << 13}
+	a := newFloat64(t, cfg)
+	b := newFloat64(t, cfg)
+	a.cfg.Seed = 3
+	b.cfg.Seed = 4
+	const half = 6000
+	perm := rng.New(213).Perm(2 * half)
+	for i, v := range perm {
+		if i < half {
+			a.Update(float64(v))
+		} else {
+			b.Update(float64(v))
+		}
+	}
+	preBound := a.Bound()
+	if preBound != 1<<13 {
+		t.Fatalf("setup: bound %d", preBound)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Bound() < uint64(2*half) {
+		t.Fatalf("bound %d not raised above n=%d", a.Bound(), 2*half)
+	}
+	if rel := mergeRelErr(t, a, 2*half); rel > 0.1 {
+		t.Fatalf("growth-boundary merge rel error %.4f", rel)
+	}
+}
+
+func TestMergeHRASketches(t *testing.T) {
+	cfg := Config{Eps: 0.05, Delta: 0.01, HRA: true}
+	a := newFloat64(t, cfg)
+	b := newFloat64(t, cfg)
+	a.cfg.Seed = 11
+	b.cfg.Seed = 12
+	const n = 1 << 17
+	perm := rng.New(214).Perm(n)
+	for i, v := range perm {
+		if i%2 == 0 {
+			a.Update(float64(v))
+		} else {
+			b.Update(float64(v))
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Tail ranks must be near exact for HRA.
+	for _, back := range []int{1, 4, 16} {
+		y := float64(n - back)
+		want := float64(n - back + 1)
+		got := float64(a.Rank(y))
+		if math.Abs(got-want)/want > 0.02 {
+			t.Errorf("merged HRA tail at %v: got %v want %v", y, got, want)
+		}
+	}
+}
+
+func TestMergePreservesDeterminism(t *testing.T) {
+	run := func() uint64 {
+		cfg := Config{Eps: 0.05, Delta: 0.05}
+		a, _ := New(fless, Config{Eps: 0.05, Delta: 0.05, Seed: 21})
+		b, _ := New(fless, Config{Eps: 0.05, Delta: 0.05, Seed: 22})
+		_ = cfg
+		r := rng.New(215)
+		for i := 0; i < 80000; i++ {
+			v := r.Float64()
+			if i%2 == 0 {
+				a.Update(v)
+			} else {
+				b.Update(v)
+			}
+		}
+		if err := a.Merge(b); err != nil {
+			panic(err)
+		}
+		return a.Rank(0.5)
+	}
+	if run() != run() {
+		t.Fatal("merge not deterministic under fixed seeds")
+	}
+}

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"req/internal/schedule"
+)
+
+func TestNormalizeDefaults(t *testing.T) {
+	var c Config
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Eps != DefaultEpsilon || c.Delta != DefaultDelta {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	if c.KHat == 0 {
+		t.Fatal("KHat not derived for mergeable mode")
+	}
+	want := KHatFor(DefaultEpsilon, DefaultDelta)
+	if c.KHat != want {
+		t.Fatalf("KHat = %v, want %v", c.KHat, want)
+	}
+}
+
+func TestNormalizeRejectsBadEps(t *testing.T) {
+	for _, eps := range []float64{-0.1, 1, 1.5} {
+		c := Config{Eps: eps, Delta: 0.1}
+		if err := c.Normalize(); err == nil {
+			t.Errorf("eps=%v accepted", eps)
+		}
+	}
+}
+
+func TestNormalizeRejectsBadDelta(t *testing.T) {
+	for _, d := range []float64{-0.1, 0.6, 1} {
+		c := Config{Eps: 0.1, Delta: d}
+		if err := c.Normalize(); err == nil {
+			t.Errorf("delta=%v accepted", d)
+		}
+	}
+}
+
+func TestNormalizeFixedK(t *testing.T) {
+	c := Config{Mode: ModeFixedK, K: 32}
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{0, 2, 3, 7, -4} {
+		c := Config{Mode: ModeFixedK, K: k}
+		if err := c.Normalize(); err == nil {
+			t.Errorf("fixed k=%d accepted", k)
+		}
+	}
+}
+
+func TestNormalizeRejectsNonPow2N0(t *testing.T) {
+	c := Config{N0: 1000}
+	if err := c.Normalize(); err == nil {
+		t.Fatal("non-power-of-two N0 accepted")
+	}
+	c = Config{N0: 1024}
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeRejectsUnknownMode(t *testing.T) {
+	c := Config{Mode: Mode(99)}
+	if err := c.Normalize(); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestKHatFor(t *testing.T) {
+	// Equation (26): k̂ = ε⁻¹·√log₂(1/δ).
+	got := KHatFor(0.01, 0.01)
+	want := math.Sqrt(math.Log2(100)) / 0.01
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("KHatFor = %v, want %v", got, want)
+	}
+}
+
+func TestGeometryEvenK(t *testing.T) {
+	for _, mode := range []Mode{ModeMergeable, ModeTheorem2} {
+		c := Config{Mode: mode, Eps: 0.033, Delta: 0.07}
+		if err := c.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		for n := uint64(64); n < 1<<40; n <<= 4 {
+			g := c.geometryFor(n)
+			if g.k%2 != 0 || g.k < 4 {
+				t.Fatalf("mode %v n=%d: k=%d not even ≥ 4", mode, n, g.k)
+			}
+			if g.b != 2*g.k*g.nsec {
+				t.Fatalf("mode %v n=%d: b=%d != 2·%d·%d", mode, n, g.b, g.k, g.nsec)
+			}
+			if g.nsec < 2 {
+				t.Fatalf("mode %v n=%d: nsec=%d < 2", mode, n, g.nsec)
+			}
+		}
+	}
+}
+
+func TestGeometryMergeableKShrinks(t *testing.T) {
+	// Equation (16): k(N) ∝ 1/√log₂(N/k̂), so k must be non-increasing in N.
+	c := Config{Mode: ModeMergeable, Eps: 0.01, Delta: 0.01}
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	prev := math.MaxInt
+	for n := uint64(1 << 10); n <= 1<<50; n <<= 5 {
+		g := c.geometryFor(n)
+		if g.k > prev {
+			t.Fatalf("k grew from %d to %d at N=%d", prev, g.k, n)
+		}
+		prev = g.k
+	}
+}
+
+func TestGeometryMergeableBGrowsSlowly(t *testing.T) {
+	// B ∝ k·log(N/k) ∝ √log(N): squaring N should multiply B by about √2.
+	c := Config{Mode: ModeMergeable, Eps: 0.005, Delta: 0.01}
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	b1 := float64(c.geometryFor(1 << 20).b)
+	b2 := float64(c.geometryFor(1 << 40).b)
+	ratio := b2 / b1
+	if ratio < 1.2 || ratio > 1.8 {
+		t.Fatalf("B ratio across squaring = %v, want ≈ √2", ratio)
+	}
+}
+
+func TestGeometryTheorem2KConstant(t *testing.T) {
+	c := Config{Mode: ModeTheorem2, Eps: 0.02, Delta: 1e-9}
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	k := c.geometryFor(1 << 12).k
+	for n := uint64(1 << 12); n < 1<<50; n <<= 6 {
+		if got := c.geometryFor(n).k; got != k {
+			t.Fatalf("Theorem-2 k changed with N: %d vs %d", got, k)
+		}
+	}
+}
+
+func TestGeometryTheorem2DeltaScaling(t *testing.T) {
+	// Equation (15): k ∝ log₂log₂(1/δ) — nearly flat in δ.
+	mk := func(delta float64) int {
+		c := Config{Mode: ModeTheorem2, Eps: 0.02, Delta: delta}
+		if err := c.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		return c.geometryFor(1 << 30).k
+	}
+	k1 := mk(0.1)
+	k2 := mk(1e-12)
+	if k2 < k1 {
+		t.Fatalf("k decreased for smaller delta: %d vs %d", k2, k1)
+	}
+	// log2 log2(1e12) ≈ 5.3 vs log2 log2(10) ≈ 1.7: ratio should stay small.
+	if float64(k2)/float64(k1) > 6 {
+		t.Fatalf("Theorem-2 k grew too fast with 1/δ: %d vs %d", k2, k1)
+	}
+}
+
+func TestGeometryPaperConstantsBigger(t *testing.T) {
+	small := Config{Mode: ModeMergeable, Eps: 0.05, Delta: 0.05}
+	big := Config{Mode: ModeMergeable, Eps: 0.05, Delta: 0.05, PaperConstants: true}
+	if err := small.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := big.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	n := uint64(1 << 24)
+	if big.geometryFor(n).k <= small.geometryFor(n).k {
+		t.Fatal("paper constants should produce a larger k")
+	}
+}
+
+func TestInitialBoundFitsGeometry(t *testing.T) {
+	for _, cfg := range []Config{
+		{Mode: ModeMergeable, Eps: 0.1, Delta: 0.1},
+		{Mode: ModeMergeable, Eps: 0.005, Delta: 0.01},
+		{Mode: ModeTheorem2, Eps: 0.05, Delta: 1e-6},
+		{Mode: ModeFixedK, K: 16},
+		{Mode: ModeFixedK, K: 1024},
+	} {
+		c := cfg
+		if err := c.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		n0 := c.initialBound()
+		if n0&(n0-1) != 0 {
+			t.Fatalf("%+v: N0=%d not a power of two", cfg, n0)
+		}
+		g := c.geometryFor(n0)
+		if uint64(2*g.b) > n0 && n0 < maxBound {
+			t.Fatalf("%+v: N0=%d does not fit 2B=%d", cfg, n0, 2*g.b)
+		}
+	}
+}
+
+func TestInitialBoundPaperConstants(t *testing.T) {
+	c := Config{Mode: ModeMergeable, Eps: 0.1, Delta: 0.1, PaperConstants: true}
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	// Appendix D: N₀ = 2⁸·k̂ rounded to a power of two.
+	want := ceilPow2(uint64(math.Ceil(256 * c.KHat)))
+	if got := c.initialBound(); got != want {
+		t.Fatalf("paper N0 = %d, want %d", got, want)
+	}
+}
+
+func TestInitialBoundOverride(t *testing.T) {
+	c := Config{N0: 1 << 20}
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.initialBound(); got != 1<<20 {
+		t.Fatalf("N0 override ignored: %d", got)
+	}
+}
+
+func TestSquareBound(t *testing.T) {
+	cases := []struct{ in, want uint64 }{
+		{2, 4}, {1024, 1 << 20}, {1 << 30, 1 << 60}, {1 << 31, maxBound}, {maxBound, maxBound},
+	}
+	for _, c := range cases {
+		if got := squareBound(c.in); got != c.want {
+			t.Errorf("squareBound(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCeilPow2(t *testing.T) {
+	cases := []struct{ in, want uint64 }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {1000, 1024}, {1024, 1024},
+	}
+	for _, c := range cases {
+		if got := ceilPow2(c.in); got != c.want {
+			t.Errorf("ceilPow2(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCompatible(t *testing.T) {
+	base := Config{Mode: ModeMergeable, Eps: 0.05, Delta: 0.05}
+	if err := base.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	same := base
+	if err := base.Compatible(&same); err != nil {
+		t.Fatalf("identical configs incompatible: %v", err)
+	}
+	// Different seeds are fine.
+	seeded := base
+	seeded.Seed = 99
+	if err := base.Compatible(&seeded); err != nil {
+		t.Fatalf("different seeds should be compatible: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		msg    string
+	}{
+		{"mode", func(c *Config) { c.Mode = ModeFixedK; c.K = 16 }, "mode"},
+		{"khat", func(c *Config) { c.KHat = base.KHat * 2 }, "k̂"},
+		{"constants", func(c *Config) { c.PaperConstants = true }, "constant"},
+		{"schedule", func(c *Config) { c.Schedule = schedule.Naive }, "schedule"},
+		{"hra", func(c *Config) { c.HRA = true }, "HRA"},
+	}
+	for _, c := range cases {
+		other := base
+		c.mutate(&other)
+		err := base.Compatible(&other)
+		if err == nil {
+			t.Errorf("%s: incompatible configs accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.msg) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.msg)
+		}
+	}
+}
+
+func TestCompatibleFixedK(t *testing.T) {
+	a := Config{Mode: ModeFixedK, K: 16}
+	b := Config{Mode: ModeFixedK, K: 32}
+	if err := a.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Compatible(&b); err == nil {
+		t.Fatal("different fixed k accepted")
+	}
+	c := Config{Mode: ModeFixedK, K: 16, Seed: 5}
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Compatible(&c); err != nil {
+		t.Fatalf("same fixed k rejected: %v", err)
+	}
+}
+
+func TestCompatibleTheorem2(t *testing.T) {
+	a := Config{Mode: ModeTheorem2, Eps: 0.05, Delta: 0.01}
+	b := Config{Mode: ModeTheorem2, Eps: 0.06, Delta: 0.01}
+	if err := a.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Compatible(&b); err == nil {
+		t.Fatal("different eps accepted in Theorem-2 mode")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeMergeable.String() != "mergeable" ||
+		ModeTheorem2.String() != "theorem2" ||
+		ModeFixedK.String() != "fixedk" ||
+		Mode(9).String() != "unknown" {
+		t.Fatal("Mode.String mismatch")
+	}
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"errors"
+	"math"
+)
+
+// Query errors returned by the estimation methods.
+var (
+	// ErrEmpty is returned by quantile queries on an empty sketch.
+	ErrEmpty = errors.New("core: sketch is empty")
+	// ErrBadRank is returned for normalized ranks outside [0, 1].
+	ErrBadRank = errors.New("core: normalized rank outside [0, 1]")
+)
+
+// Rank returns the estimated inclusive rank of y: the number of stream items
+// x with x ≤ y (Algorithm 2, Estimate-Rank). Items at level h count with
+// weight 2^h. On an empty sketch the result is 0.
+func (s *Sketch[T]) Rank(y T) uint64 {
+	var r uint64
+	for h := range s.levels {
+		cnt := 0
+		for _, x := range s.levels[h].buf {
+			if !s.less(y, x) { // x ≤ y
+				cnt++
+			}
+		}
+		r += uint64(cnt) << uint(h)
+	}
+	return r
+}
+
+// RankExclusive returns the estimated exclusive rank of y: the number of
+// stream items x with x < y.
+func (s *Sketch[T]) RankExclusive(y T) uint64 {
+	var r uint64
+	for h := range s.levels {
+		cnt := 0
+		for _, x := range s.levels[h].buf {
+			if s.less(x, y) {
+				cnt++
+			}
+		}
+		r += uint64(cnt) << uint(h)
+	}
+	return r
+}
+
+// NormalizedRank returns Rank(y)/n in [0, 1]. On an empty sketch it is 0.
+func (s *Sketch[T]) NormalizedRank(y T) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return float64(s.Rank(y)) / float64(s.n)
+}
+
+// Quantile returns the estimated φ-quantile for φ ∈ [0, 1]: the smallest
+// retained item whose normalized inclusive rank reaches φ. φ = 0 yields the
+// exact minimum and φ = 1 the exact maximum (both tracked separately).
+func (s *Sketch[T]) Quantile(phi float64) (T, error) {
+	var zero T
+	if s.n == 0 {
+		return zero, ErrEmpty
+	}
+	if math.IsNaN(phi) || phi < 0 || phi > 1 {
+		return zero, ErrBadRank
+	}
+	if phi == 0 {
+		return s.min, nil
+	}
+	if phi == 1 {
+		return s.max, nil
+	}
+	return s.SortedView().Quantile(phi)
+}
+
+// Quantiles returns the estimates for each φ in phis, resolving all of them
+// against a single sorted view.
+func (s *Sketch[T]) Quantiles(phis []float64) ([]T, error) {
+	out := make([]T, len(phis))
+	for i, phi := range phis {
+		q, err := s.Quantile(phi)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = q
+	}
+	return out, nil
+}
+
+// CDF returns the estimated normalized inclusive ranks at each split point.
+// Splits must be sorted ascending in the sketch's order; the result has
+// len(splits)+1 entries, the last being 1 (the mass ≤ +∞).
+func (s *Sketch[T]) CDF(splits []T) ([]float64, error) {
+	if s.n == 0 {
+		return nil, ErrEmpty
+	}
+	for i := 1; i < len(splits); i++ {
+		if s.less(splits[i], splits[i-1]) {
+			return nil, errors.New("core: CDF split points not sorted")
+		}
+	}
+	v := s.SortedView()
+	out := make([]float64, len(splits)+1)
+	for i, sp := range splits {
+		out[i] = float64(v.Rank(sp)) / float64(s.n)
+	}
+	out[len(splits)] = 1
+	return out, nil
+}
+
+// PMF returns the estimated probability mass in each interval delimited by
+// the sorted split points: (−∞, s₀], (s₀, s₁], …, (s_last, +∞).
+func (s *Sketch[T]) PMF(splits []T) ([]float64, error) {
+	cdf, err := s.CDF(splits)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(cdf))
+	prev := 0.0
+	for i, c := range cdf {
+		out[i] = c - prev
+		prev = c
+	}
+	return out, nil
+}
+
+// View is an immutable sorted snapshot of the sketch's weighted coreset:
+// items ascending in the caller's order with cumulative weights. It answers
+// rank and quantile queries in O(log size) and is what the experiment
+// harness uses for bulk evaluation. A View remains valid after further
+// updates to the sketch but no longer reflects them.
+type View[T any] struct {
+	items []T
+	cum   []uint64 // cum[i] = total weight of items[0..i]
+	less  func(a, b T) bool
+	n     uint64
+	min   T
+	max   T
+}
+
+// SortedView materializes (and caches) the sorted weighted view.
+func (s *Sketch[T]) SortedView() *View[T] {
+	if s.view != nil {
+		return s.view
+	}
+	type wi struct {
+		item T
+		w    uint64
+	}
+	all := make([]wi, 0, s.ItemsRetained())
+	for h := range s.levels {
+		w := uint64(1) << uint(h)
+		for _, x := range s.levels[h].buf {
+			all = append(all, wi{item: x, w: w})
+		}
+	}
+	sortSlice(all, func(a, b wi) bool { return s.less(a.item, b.item) })
+	v := &View[T]{
+		items: make([]T, len(all)),
+		cum:   make([]uint64, len(all)),
+		less:  s.less,
+		n:     s.n,
+		min:   s.min,
+		max:   s.max,
+	}
+	var run uint64
+	for i, e := range all {
+		run += e.w
+		v.items[i] = e.item
+		v.cum[i] = run
+	}
+	s.view = v
+	return v
+}
+
+// Size returns the number of distinct retained entries in the view.
+func (v *View[T]) Size() int { return len(v.items) }
+
+// TotalWeight returns the total weight (= stream length n).
+func (v *View[T]) TotalWeight() uint64 { return v.n }
+
+// Items returns the retained items in ascending order. The slice is shared;
+// callers must not modify it.
+func (v *View[T]) Items() []T { return v.items }
+
+// CumulativeWeights returns cum[i] = weight of items[0..i]. Shared slice.
+func (v *View[T]) CumulativeWeights() []uint64 { return v.cum }
+
+// Rank returns the estimated inclusive rank of y.
+func (v *View[T]) Rank(y T) uint64 {
+	i := searchLE(v.items, y, v.less)
+	if i == 0 {
+		return 0
+	}
+	return v.cum[i-1]
+}
+
+// RankExclusive returns the estimated exclusive rank of y.
+func (v *View[T]) RankExclusive(y T) uint64 {
+	i := searchLT(v.items, y, v.less)
+	if i == 0 {
+		return 0
+	}
+	return v.cum[i-1]
+}
+
+// Weight returns the weight of items[i] (the difference of consecutive
+// cumulative weights).
+func (v *View[T]) Weight(i int) uint64 {
+	if i == 0 {
+		return v.cum[0]
+	}
+	return v.cum[i] - v.cum[i-1]
+}
+
+// Quantile returns the smallest retained item whose cumulative weight
+// reaches ⌈φ·n⌉.
+func (v *View[T]) Quantile(phi float64) (T, error) {
+	var zero T
+	if v.n == 0 {
+		return zero, ErrEmpty
+	}
+	if math.IsNaN(phi) || phi < 0 || phi > 1 {
+		return zero, ErrBadRank
+	}
+	if phi == 0 {
+		return v.min, nil
+	}
+	if phi == 1 {
+		return v.max, nil
+	}
+	target := uint64(math.Ceil(phi * float64(v.n)))
+	if target == 0 {
+		target = 1
+	}
+	if target > v.n {
+		target = v.n
+	}
+	// First index with cum ≥ target.
+	lo, hi := 0, len(v.cum)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v.cum[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(v.items) {
+		// Total retained weight can be less than n only if the sketch was
+		// restored from a foreign snapshot; clamp to the maximum.
+		return v.max, nil
+	}
+	return v.items[lo], nil
+}

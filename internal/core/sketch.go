@@ -1,0 +1,317 @@
+package core
+
+import (
+	"fmt"
+
+	"req/internal/rng"
+	"req/internal/schedule"
+)
+
+// compactor is one relative-compactor (Algorithm 1): a buffer at level h of
+// the sketch. Items in the buffer carry weight 2^h. The buffer holds up to
+// b items between operations; its bottom half (in the internal order) is
+// never compacted, and the top half is divided into nsec sections of k items
+// compacted per the exponential schedule.
+type compactor[T any] struct {
+	buf []T
+	// state drives the compaction schedule. In a single stream it counts
+	// compactions; across merges it is the bitwise OR of the constituent
+	// histories plus subsequent compactions (Algorithm 3).
+	state schedule.State
+	// numCompactions counts compactions actually performed at this level
+	// (including special compactions); kept for instrumentation.
+	numCompactions uint64
+}
+
+// Sketch is the full relative-error quantiles sketch (Algorithm 2 plus the
+// unknown-stream-length handling of Section 5 and the merge machinery of
+// Appendix D), generic over the item type. It is not safe for concurrent
+// use. Construct it with New.
+type Sketch[T any] struct {
+	less func(a, b T) bool // the caller's order; queries use this
+	cfg  Config
+	rnd  *rng.Source
+
+	levels []compactor[T] // levels[h] holds items of weight 2^h
+	n      uint64         // total stream length summarised
+	bound  uint64         // current stream-length bound N
+	geom   geometry       // current (k, nsec, b), derived from bound
+
+	min, max  T
+	hasMinMax bool
+
+	// Cached sorted view, invalidated by updates and merges.
+	view *View[T]
+
+	// Instrumentation for the experiment harness.
+	stats Stats
+}
+
+// Stats aggregates instrumentation counters; see Sketch.Stats.
+type Stats struct {
+	Compactions        uint64 // scheduled compactions performed
+	SpecialCompactions uint64 // special compactions (growth/merge, App. D)
+	Growths            uint64 // times the bound N was squared
+	Merges             uint64 // merge operations absorbed
+	CoinFlips          uint64 // random coins consumed
+	MaxBufferLen       int    // high-water buffer length observed
+}
+
+// New returns an empty sketch over the strict order less. The config is
+// normalized; an invalid config returns an error.
+func New[T any](less func(a, b T) bool, cfg Config) (*Sketch[T], error) {
+	if less == nil {
+		return nil, fmt.Errorf("core: nil less function")
+	}
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	s := &Sketch[T]{
+		less: less,
+		cfg:  cfg,
+		rnd:  rng.New(cfg.Seed),
+	}
+	s.bound = cfg.initialBound()
+	s.geom = cfg.geometryFor(s.bound)
+	s.levels = make([]compactor[T], 1, 8)
+	s.levels[0].buf = make([]T, 0, s.geom.b)
+	return s, nil
+}
+
+// internalLess is the order compaction protects: the caller's order for
+// low-rank accuracy, or its reverse for high-rank accuracy (HRA). Queries
+// always use the caller's order; only the choice of which items survive
+// compaction changes.
+func (s *Sketch[T]) internalLess(a, b T) bool {
+	if s.cfg.HRA {
+		return s.less(b, a)
+	}
+	return s.less(a, b)
+}
+
+// Update inserts one item into the sketch.
+func (s *Sketch[T]) Update(x T) {
+	s.view = nil
+	if !s.hasMinMax {
+		s.min, s.max = x, x
+		s.hasMinMax = true
+	} else {
+		if s.less(x, s.min) {
+			s.min = x
+		}
+		if s.less(s.max, x) {
+			s.max = x
+		}
+	}
+	if s.n+1 > s.bound {
+		s.growTo(s.n + 1)
+	}
+	lv := &s.levels[0]
+	lv.buf = append(lv.buf, x)
+	s.n++
+	if len(lv.buf) > s.stats.MaxBufferLen {
+		s.stats.MaxBufferLen = len(lv.buf)
+	}
+	if len(lv.buf) >= s.geom.b {
+		s.compactCascade(0)
+	}
+}
+
+// Count returns n, the total weight of items summarised (stream length, or
+// the sum of merged stream lengths).
+func (s *Sketch[T]) Count() uint64 { return s.n }
+
+// Empty reports whether the sketch has seen no items.
+func (s *Sketch[T]) Empty() bool { return s.n == 0 }
+
+// Min returns the smallest item seen (exactly). ok is false when empty.
+func (s *Sketch[T]) Min() (item T, ok bool) { return s.min, s.hasMinMax }
+
+// Max returns the largest item seen (exactly). ok is false when empty.
+func (s *Sketch[T]) Max() (item T, ok bool) { return s.max, s.hasMinMax }
+
+// Config returns the normalized configuration of the sketch.
+func (s *Sketch[T]) Config() Config { return s.cfg }
+
+// Stats returns a copy of the instrumentation counters.
+func (s *Sketch[T]) Stats() Stats { return s.stats }
+
+// Bound returns the current stream-length bound N.
+func (s *Sketch[T]) Bound() uint64 { return s.bound }
+
+// K returns the current section size k.
+func (s *Sketch[T]) K() int { return s.geom.k }
+
+// BufferCapacity returns the current per-level buffer capacity B.
+func (s *Sketch[T]) BufferCapacity() int { return s.geom.b }
+
+// NumLevels returns the number of relative-compactors currently allocated.
+func (s *Sketch[T]) NumLevels() int { return len(s.levels) }
+
+// ItemsRetained returns the total number of items stored across all levels.
+func (s *Sketch[T]) ItemsRetained() int {
+	total := 0
+	for i := range s.levels {
+		total += len(s.levels[i].buf)
+	}
+	return total
+}
+
+// compactCascade compacts level h and propagates: each compaction emits
+// items one level up, which may in turn exceed capacity. Levels are created
+// on demand (Algorithm 2's Insert recursion, iteratively).
+func (s *Sketch[T]) compactCascade(h int) {
+	for ; h < len(s.levels); h++ {
+		if len(s.levels[h].buf) >= s.geom.b {
+			s.compactLevel(h)
+		}
+	}
+}
+
+// compactLevel performs one scheduled compaction at level h (Algorithm 1
+// lines 5–11; Algorithm 3's ScheduledCompaction when the buffer holds more
+// than B items after a merge).
+//
+// The buffer is sorted in the internal order; the compacted region is every
+// item above the lowest B−L slots, where L = sections·k is dictated by the
+// schedule state. The surviving half of the region (even- or odd-indexed
+// items, fair coin) moves to level h+1 with doubled weight.
+func (s *Sketch[T]) compactLevel(h int) {
+	c := &s.levels[h]
+	if len(c.buf) > s.stats.MaxBufferLen {
+		s.stats.MaxBufferLen = len(c.buf)
+	}
+	sortSlice(c.buf, s.internalLess)
+
+	secs := schedule.SectionsFor(s.cfg.Schedule, c.state, s.geom.nsec)
+	keep := s.geom.b - secs*s.geom.k
+	if keep < 0 {
+		keep = 0
+	}
+	if keep > len(c.buf) {
+		// Defensive: cannot happen for scheduled compactions (caller
+		// checks len ≥ b ≥ keep), but keeps the helper total.
+		keep = len(c.buf)
+	}
+	s.emitHalf(h, keep)
+	c = &s.levels[h] // emitHalf may have grown s.levels and moved it
+	c.state = c.state.Next()
+	c.numCompactions++
+	s.stats.Compactions++
+}
+
+// specialCompactLevel performs the Appendix D special compaction at level h:
+// compact everything above the lowest B/2 items, leaving at most B/2 (+1 for
+// parity) behind. It is a no-op when the buffer holds ≤ B/2 items. Returns
+// whether a compaction was performed.
+func (s *Sketch[T]) specialCompactLevel(h int) bool {
+	c := &s.levels[h]
+	keep := s.geom.b / 2
+	if len(c.buf) <= keep {
+		return false
+	}
+	sortSlice(c.buf, s.internalLess)
+	s.emitHalf(h, keep)
+	c = &s.levels[h] // emitHalf may have grown s.levels and moved it
+	c.state = c.state.Next()
+	c.numCompactions++
+	s.stats.SpecialCompactions++
+	return true
+}
+
+// emitHalf compacts the (already sorted) region buf[keep:] of level h:
+// every other item of the region is promoted to level h+1, the rest are
+// discarded, and the buffer is truncated to keep items.
+//
+// The region is forced to even length by retaining one extra item, so each
+// compaction consumes 2m items and emits m of double weight: total weight
+// Σ_h 2^h·|buf_h| is conserved exactly (a checked invariant). The paper
+// permits odd regions; see DESIGN.md for why we tighten this.
+func (s *Sketch[T]) emitHalf(h, keep int) {
+	c := &s.levels[h]
+	if (len(c.buf)-keep)%2 != 0 {
+		keep++
+	}
+	region := c.buf[keep:]
+	if len(region) == 0 {
+		return
+	}
+	offset := 0
+	if !s.cfg.DetCoin {
+		s.stats.CoinFlips++
+		if s.rnd.Coin() {
+			offset = 1
+		}
+	}
+	if h+1 >= len(s.levels) {
+		s.levels = append(s.levels, compactor[T]{buf: make([]T, 0, s.geom.b)})
+		c = &s.levels[h] // re-take: append may have moved the backing array
+		region = c.buf[keep:]
+	}
+	next := &s.levels[h+1]
+	for i := offset; i < len(region); i += 2 {
+		next.buf = append(next.buf, region[i])
+	}
+	// Zero the abandoned tail so the GC can reclaim pointer-bearing items.
+	var zero T
+	for i := keep; i < len(c.buf); i++ {
+		c.buf[i] = zero
+	}
+	c.buf = c.buf[:keep]
+	if len(next.buf) > s.stats.MaxBufferLen {
+		s.stats.MaxBufferLen = len(next.buf)
+	}
+}
+
+// growTo raises the stream-length bound N until it is at least need,
+// squaring per Section 5 / Appendix D: special-compact every level (except
+// the top), square N, recompute the geometry, then re-compact any level left
+// at or above the new capacity.
+func (s *Sketch[T]) growTo(need uint64) {
+	for s.bound < need {
+		for h := 0; h < len(s.levels)-1; h++ {
+			s.specialCompactLevel(h)
+		}
+		s.bound = squareBound(s.bound)
+		s.geom = s.cfg.geometryFor(s.bound)
+		s.stats.Growths++
+		s.compactCascade(0)
+		if s.bound == maxBound {
+			return
+		}
+	}
+}
+
+// Reset returns the sketch to its empty state, retaining allocations where
+// convenient and preserving the configuration. The random stream continues
+// (it is not re-seeded), so a reset sketch is statistically fresh but not
+// bit-identical to a newly constructed one.
+func (s *Sketch[T]) Reset() {
+	s.view = nil
+	s.n = 0
+	s.bound = s.cfg.initialBound()
+	s.geom = s.cfg.geometryFor(s.bound)
+	s.levels = s.levels[:1]
+	s.levels[0].buf = s.levels[0].buf[:0]
+	s.levels[0].state = 0
+	s.levels[0].numCompactions = 0
+	var zero T
+	s.min, s.max = zero, zero
+	s.hasMinMax = false
+	s.stats = Stats{}
+}
+
+// clone returns a deep copy of the sketch sharing nothing with s. The
+// clone's random source continues s's stream (state copied).
+func (s *Sketch[T]) clone() *Sketch[T] {
+	c := *s
+	c.rnd = rng.New(0)
+	c.rnd.Restore(s.rnd.State())
+	c.levels = make([]compactor[T], len(s.levels))
+	for i := range s.levels {
+		c.levels[i] = s.levels[i]
+		c.levels[i].buf = append(make([]T, 0, max(len(s.levels[i].buf), 1)), s.levels[i].buf...)
+	}
+	c.view = nil
+	return &c
+}

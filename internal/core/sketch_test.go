@@ -1,0 +1,480 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"req/internal/rng"
+	"req/internal/schedule"
+)
+
+// newFloat64 builds a sketch over float64 for tests, failing the test on
+// config errors.
+func newFloat64(t testing.TB, cfg Config) *Sketch[float64] {
+	t.Helper()
+	s, err := New(fless, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// feedPerm feeds a random permutation of 0..n-1 (as float64) and returns it.
+func feedPerm(t testing.TB, s *Sketch[float64], n int, seed uint64) []float64 {
+	t.Helper()
+	r := rng.New(seed)
+	vals := make([]float64, n)
+	for i, v := range r.Perm(n) {
+		vals[i] = float64(v)
+	}
+	for _, v := range vals {
+		s.Update(v)
+	}
+	return vals
+}
+
+func TestNewRejectsNilLess(t *testing.T) {
+	if _, err := New[float64](nil, Config{}); err == nil {
+		t.Fatal("nil less accepted")
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(fless, Config{Eps: 2}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestEmptySketch(t *testing.T) {
+	s := newFloat64(t, Config{})
+	if !s.Empty() || s.Count() != 0 {
+		t.Fatal("fresh sketch not empty")
+	}
+	if _, ok := s.Min(); ok {
+		t.Fatal("Min ok on empty sketch")
+	}
+	if _, ok := s.Max(); ok {
+		t.Fatal("Max ok on empty sketch")
+	}
+	if got := s.Rank(5); got != 0 {
+		t.Fatalf("Rank on empty = %d", got)
+	}
+	if _, err := s.Quantile(0.5); err != ErrEmpty {
+		t.Fatalf("Quantile on empty: %v", err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleItem(t *testing.T) {
+	s := newFloat64(t, Config{})
+	s.Update(7)
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if mn, _ := s.Min(); mn != 7 {
+		t.Fatalf("Min = %v", mn)
+	}
+	if mx, _ := s.Max(); mx != 7 {
+		t.Fatalf("Max = %v", mx)
+	}
+	if got := s.Rank(7); got != 1 {
+		t.Fatalf("Rank(7) = %d", got)
+	}
+	if got := s.Rank(6.9); got != 0 {
+		t.Fatalf("Rank(6.9) = %d", got)
+	}
+	q, err := s.Quantile(0.5)
+	if err != nil || q != 7 {
+		t.Fatalf("Quantile = %v, %v", q, err)
+	}
+}
+
+func TestExactBelowBufferCapacity(t *testing.T) {
+	// While no compaction has happened, every rank is exact.
+	s := newFloat64(t, Config{Eps: 0.1, Delta: 0.1})
+	n := s.BufferCapacity() - 1
+	feedPerm(t, s, n, 3)
+	if s.Stats().Compactions != 0 {
+		t.Fatalf("unexpected compactions for n=%d < B=%d", n, s.BufferCapacity())
+	}
+	for _, q := range []int{1, n / 3, n / 2, n} {
+		if got := s.Rank(float64(q - 1)); got != uint64(q) {
+			t.Fatalf("Rank exactness broken: rank %d estimated %d", q, got)
+		}
+	}
+}
+
+func TestMinMaxExactAlways(t *testing.T) {
+	s := newFloat64(t, Config{Eps: 0.05, Delta: 0.05, Seed: 9})
+	vals := feedPerm(t, s, 100000, 4)
+	mn, mx := vals[0], vals[0]
+	for _, v := range vals {
+		mn = math.Min(mn, v)
+		mx = math.Max(mx, v)
+	}
+	gotMin, _ := s.Min()
+	gotMax, _ := s.Max()
+	if gotMin != mn || gotMax != mx {
+		t.Fatalf("min/max = %v/%v, want %v/%v", gotMin, gotMax, mn, mx)
+	}
+}
+
+func TestInvariantsAcrossGrowth(t *testing.T) {
+	s := newFloat64(t, Config{Eps: 0.1, Delta: 0.1, Seed: 5})
+	r := rng.New(6)
+	for i := 0; i < 300000; i++ {
+		s.Update(r.Float64())
+		if i%9973 == 0 {
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("after %d updates: %v", i+1, err)
+			}
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Growths == 0 {
+		t.Fatal("expected at least one bound growth over 300k updates")
+	}
+}
+
+func TestWeightConservation(t *testing.T) {
+	// Σ_h 2^h·|buf_h| must equal n exactly at every rest point.
+	s := newFloat64(t, Config{Eps: 0.1, Delta: 0.1, Seed: 8})
+	r := rng.New(10)
+	for i := 1; i <= 100000; i++ {
+		s.Update(r.Float64())
+		if i%5000 == 0 {
+			var w uint64
+			for _, lv := range s.Levels() {
+				w += uint64(lv.Items) * lv.Weight
+			}
+			if w != uint64(i) {
+				t.Fatalf("after %d updates: retained weight %d", i, w)
+			}
+		}
+	}
+}
+
+func TestLowRanksExactWithLargeStream(t *testing.T) {
+	// The bottom half of level 0 is never compacted, so for items y with
+	// true rank below B/2 at every level the estimate is exact. Verify the
+	// very lowest ranks stay exact even after many compactions.
+	s := newFloat64(t, Config{Eps: 0.05, Delta: 0.05, Seed: 2})
+	n := 1 << 18
+	feedPerm(t, s, n, 12)
+	if s.Stats().Compactions == 0 {
+		t.Fatal("test needs compactions to be meaningful")
+	}
+	for rank := 1; rank <= 32; rank++ {
+		if got := s.Rank(float64(rank - 1)); got != uint64(rank) {
+			t.Fatalf("low rank %d estimated %d, want exact", rank, got)
+		}
+	}
+}
+
+func TestHighRanksExactWithHRA(t *testing.T) {
+	cfg := Config{Eps: 0.05, Delta: 0.05, Seed: 2, HRA: true}
+	s := newFloat64(t, cfg)
+	n := 1 << 18
+	feedPerm(t, s, n, 12)
+	for back := 0; back < 32; back++ {
+		y := float64(n - 1 - back)
+		want := uint64(n - back)
+		if got := s.Rank(y); got != want {
+			t.Fatalf("HRA high rank: Rank(%v) = %d, want exact %d", y, got, want)
+		}
+	}
+}
+
+func TestRelativeErrorBoundUniform(t *testing.T) {
+	// Statistical check of Theorem 1's guarantee on a fixed seed: relative
+	// error at logarithmically spaced ranks must stay within ε (allowing
+	// a small slack since ε-guarantee is probabilistic per item).
+	const n = 1 << 19
+	const eps = 0.05
+	s := newFloat64(t, Config{Eps: eps, Delta: 0.01, Seed: 77})
+	feedPerm(t, s, n, 13)
+	for rank := 1; rank <= n; rank *= 2 {
+		got := s.Rank(float64(rank - 1))
+		rel := math.Abs(float64(got)-float64(rank)) / float64(rank)
+		if rel > eps {
+			t.Errorf("rank %d: estimate %d, relative error %.4f > ε", rank, got, rel)
+		}
+	}
+}
+
+func TestRelativeErrorSortedInput(t *testing.T) {
+	const n = 1 << 18
+	const eps = 0.05
+	s := newFloat64(t, Config{Eps: eps, Delta: 0.01, Seed: 42})
+	for i := 0; i < n; i++ {
+		s.Update(float64(i))
+	}
+	for rank := 1; rank <= n; rank *= 4 {
+		got := s.Rank(float64(rank - 1))
+		rel := math.Abs(float64(got)-float64(rank)) / float64(rank)
+		if rel > eps {
+			t.Errorf("sorted input rank %d: estimate %d, rel %.4f", rank, got, rel)
+		}
+	}
+}
+
+func TestRelativeErrorReversedInput(t *testing.T) {
+	const n = 1 << 18
+	const eps = 0.05
+	s := newFloat64(t, Config{Eps: eps, Delta: 0.01, Seed: 43})
+	for i := n - 1; i >= 0; i-- {
+		s.Update(float64(i))
+	}
+	for rank := 1; rank <= n; rank *= 4 {
+		got := s.Rank(float64(rank - 1))
+		rel := math.Abs(float64(got)-float64(rank)) / float64(rank)
+		if rel > eps {
+			t.Errorf("reversed input rank %d: estimate %d, rel %.4f", rank, got, rel)
+		}
+	}
+}
+
+func TestDuplicateHeavyStream(t *testing.T) {
+	// All-equal stream: the single distinct value must carry full weight.
+	s := newFloat64(t, Config{Eps: 0.1, Delta: 0.1})
+	const n = 50000
+	for i := 0; i < n; i++ {
+		s.Update(1.5)
+	}
+	if got := s.Rank(1.5); got != n {
+		t.Fatalf("Rank(1.5) = %d, want %d", got, n)
+	}
+	if got := s.Rank(1.4); got != 0 {
+		t.Fatalf("Rank(1.4) = %d, want 0", got)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFewDistinctValues(t *testing.T) {
+	s := newFloat64(t, Config{Eps: 0.05, Delta: 0.05, Seed: 3})
+	const n = 120000
+	r := rng.New(30)
+	counts := map[float64]int{}
+	for i := 0; i < n; i++ {
+		v := float64(r.Intn(4))
+		counts[v]++
+		s.Update(v)
+	}
+	run := 0
+	for v := 0.0; v < 4; v++ {
+		run += counts[v]
+		got := s.Rank(v)
+		rel := math.Abs(float64(got)-float64(run)) / float64(run)
+		if rel > 0.05 {
+			t.Errorf("Rank(%v) = %d, want ≈%d (rel %.4f)", v, got, run, rel)
+		}
+	}
+}
+
+func TestObservation13LevelCount(t *testing.T) {
+	s := newFloat64(t, Config{Eps: 0.1, Delta: 0.1, Seed: 11})
+	feedPerm(t, s, 1<<18, 14)
+	// Observation 13: #compactors ≤ ⌈log₂(n/B)⌉ + 1. B changed across
+	// growths; use the smallest B that ever applied (the current geometry
+	// has the largest B, so the bound from the initial small B is safest).
+	bound := int(math.Ceil(math.Log2(float64(s.Count())/float64(s.BufferCapacity()/2)))) + 2
+	if s.NumLevels() > bound {
+		t.Fatalf("levels = %d exceeds Observation 13 bound %d", s.NumLevels(), bound)
+	}
+}
+
+func TestFixedKMode(t *testing.T) {
+	s := newFloat64(t, Config{Mode: ModeFixedK, K: 64, Seed: 15})
+	if s.K() != 64 {
+		t.Fatalf("K = %d, want 64", s.K())
+	}
+	feedPerm(t, s, 100000, 16)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for rank := 1; rank <= 100000; rank *= 10 {
+		got := s.Rank(float64(rank - 1))
+		rel := math.Abs(float64(got)-float64(rank)) / float64(rank)
+		if rel > 0.1 {
+			t.Errorf("fixed-k rank %d: rel error %.4f", rank, rel)
+		}
+	}
+}
+
+func TestTheorem2Mode(t *testing.T) {
+	s := newFloat64(t, Config{Mode: ModeTheorem2, Eps: 0.05, Delta: 1e-9, Seed: 17})
+	feedPerm(t, s, 200000, 18)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for rank := 1; rank <= 200000; rank *= 10 {
+		got := s.Rank(float64(rank - 1))
+		rel := math.Abs(float64(got)-float64(rank)) / float64(rank)
+		if rel > 0.05 {
+			t.Errorf("theorem2 rank %d: rel error %.4f", rank, rel)
+		}
+	}
+}
+
+func TestNaiveScheduleStillSound(t *testing.T) {
+	// The naive schedule is an ablation: it remains a valid sketch (weights
+	// conserved, unbiased), just with worse error scaling.
+	s := newFloat64(t, Config{Eps: 0.05, Delta: 0.05, Schedule: schedule.Naive, Seed: 19})
+	feedPerm(t, s, 100000, 20)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Rank(99999)
+	if got != 100000 {
+		t.Fatalf("total rank %d, want exact n", got)
+	}
+}
+
+func TestDetCoinAblation(t *testing.T) {
+	s := newFloat64(t, Config{Eps: 0.05, Delta: 0.05, DetCoin: true, Seed: 21})
+	feedPerm(t, s, 100000, 22)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().CoinFlips != 0 {
+		t.Fatalf("deterministic coin consumed %d flips", s.Stats().CoinFlips)
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	mk := func() *Sketch[float64] {
+		s := newFloat64(t, Config{Eps: 0.05, Delta: 0.05, Seed: 123})
+		feedPerm(t, s, 100000, 55)
+		return s
+	}
+	a, b := mk(), mk()
+	if a.Count() != b.Count() || a.ItemsRetained() != b.ItemsRetained() {
+		t.Fatal("same seed produced structurally different sketches")
+	}
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		qa, err1 := a.Quantile(q)
+		qb, err2 := b.Quantile(q)
+		if err1 != nil || err2 != nil || qa != qb {
+			t.Fatalf("same seed diverged at q=%v: %v vs %v", q, qa, qb)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	mk := func(seed uint64) *Sketch[float64] {
+		s := newFloat64(t, Config{Eps: 0.05, Delta: 0.05, Seed: seed})
+		feedPerm(t, s, 1<<17, 56)
+		return s
+	}
+	a, b := mk(1), mk(2)
+	same := true
+	for q := 0.05; q < 1.0; q += 0.05 {
+		qa, _ := a.Quantile(q)
+		qb, _ := b.Quantile(q)
+		if qa != qb {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical retained sets (suspicious)")
+	}
+}
+
+func TestGrowthPreservesAccuracy(t *testing.T) {
+	// Stream long enough to force several bound squarings; ranks must stay
+	// within ε afterwards.
+	const n = 1 << 20
+	const eps = 0.05
+	s := newFloat64(t, Config{Eps: eps, Delta: 0.01, Seed: 33, N0: 1 << 12})
+	feedPerm(t, s, n, 34)
+	if s.Stats().Growths < 1 {
+		t.Fatalf("expected growths with N0=4096 and n=%d", n)
+	}
+	for rank := 1; rank <= n; rank *= 8 {
+		got := s.Rank(float64(rank - 1))
+		rel := math.Abs(float64(got)-float64(rank)) / float64(rank)
+		if rel > eps {
+			t.Errorf("after growth, rank %d: rel %.4f", rank, rel)
+		}
+	}
+}
+
+func TestIntSketch(t *testing.T) {
+	// The sketch is generic; exercise it with ints and a custom order.
+	s, err := New(func(a, b int) bool { return a < b }, Config{Eps: 0.1, Delta: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(60)
+	const n = 50000
+	for _, v := range r.Perm(n) {
+		s.Update(v)
+	}
+	if got := s.Rank(n - 1); got != n {
+		t.Fatalf("int sketch total rank %d", got)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringSketch(t *testing.T) {
+	s, err := New(func(a, b string) bool { return a < b }, Config{Eps: 0.1, Delta: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Update("banana")
+	s.Update("apple")
+	s.Update("cherry")
+	if got := s.Rank("b"); got != 1 {
+		t.Fatalf(`Rank("b") = %d, want 1`, got)
+	}
+	mn, _ := s.Min()
+	if mn != "apple" {
+		t.Fatalf("Min = %q", mn)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s := newFloat64(t, Config{Eps: 0.1, Delta: 0.1, Seed: 70})
+	feedPerm(t, s, 200000, 71)
+	st := s.Stats()
+	if st.Compactions == 0 {
+		t.Fatal("no compactions recorded")
+	}
+	if st.CoinFlips < st.Compactions {
+		t.Fatalf("coin flips %d < compactions %d", st.CoinFlips, st.Compactions)
+	}
+	if st.MaxBufferLen < s.BufferCapacity() {
+		t.Fatalf("max buffer len %d below capacity %d", st.MaxBufferLen, s.BufferCapacity())
+	}
+	var levelTotal uint64
+	for _, lv := range s.Levels() {
+		levelTotal += lv.Compactions
+	}
+	if levelTotal != st.Compactions+st.SpecialCompactions {
+		t.Fatalf("per-level compactions %d != global %d+%d", levelTotal, st.Compactions, st.SpecialCompactions)
+	}
+}
+
+func TestDebugStringSmoke(t *testing.T) {
+	s := newFloat64(t, Config{Eps: 0.1, Delta: 0.1, Seed: 80})
+	feedPerm(t, s, 30000, 81)
+	out := s.DebugString()
+	if len(out) == 0 {
+		t.Fatal("empty debug string")
+	}
+	for _, want := range []string{"REQ sketch", "level", "protected half"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("debug string missing %q:\n%s", want, out)
+		}
+	}
+}

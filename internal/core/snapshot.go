@@ -1,0 +1,109 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"req/internal/rng"
+	"req/internal/schedule"
+)
+
+// LevelSnapshot is the portable state of one relative-compactor.
+type LevelSnapshot[T any] struct {
+	State uint64
+	Items []T
+}
+
+// Snapshot is the complete portable state of a sketch, sufficient to resume
+// it bit-for-bit (including the random stream). The root req package uses it
+// to implement binary serialization for concrete item types.
+type Snapshot[T any] struct {
+	Config    Config
+	N         uint64
+	Bound     uint64
+	Min, Max  T
+	HasMinMax bool
+	RNG       rng.State
+	Levels    []LevelSnapshot[T]
+	Stats     Stats
+}
+
+// Snapshot captures the sketch state. Item slices are copies.
+func (s *Sketch[T]) Snapshot() Snapshot[T] {
+	snap := Snapshot[T]{
+		Config:    s.cfg,
+		N:         s.n,
+		Bound:     s.bound,
+		Min:       s.min,
+		Max:       s.max,
+		HasMinMax: s.hasMinMax,
+		RNG:       s.rnd.State(),
+		Levels:    make([]LevelSnapshot[T], len(s.levels)),
+		Stats:     s.stats,
+	}
+	for h := range s.levels {
+		snap.Levels[h] = LevelSnapshot[T]{
+			State: uint64(s.levels[h].state),
+			Items: append([]T(nil), s.levels[h].buf...),
+		}
+	}
+	return snap
+}
+
+// FromSnapshot reconstructs a sketch from a snapshot, validating structural
+// consistency (weight conservation, bound sanity, buffer sizes). The less
+// function must match the one the snapshot was taken under; this cannot be
+// checked and is the caller's contract.
+func FromSnapshot[T any](less func(a, b T) bool, snap Snapshot[T]) (*Sketch[T], error) {
+	if less == nil {
+		return nil, errors.New("core: nil less function")
+	}
+	cfg := snap.Config
+	if err := cfg.Normalize(); err != nil {
+		return nil, fmt.Errorf("core: snapshot config: %w", err)
+	}
+	if snap.Bound < snap.N {
+		return nil, fmt.Errorf("core: snapshot bound %d < n %d", snap.Bound, snap.N)
+	}
+	if snap.Bound == 0 || snap.Bound&(snap.Bound-1) != 0 {
+		return nil, fmt.Errorf("core: snapshot bound %d is not a power of two", snap.Bound)
+	}
+	if len(snap.Levels) == 0 {
+		return nil, errors.New("core: snapshot has no levels")
+	}
+	if len(snap.Levels) > 64 {
+		return nil, fmt.Errorf("core: snapshot has %d levels", len(snap.Levels))
+	}
+	s := &Sketch[T]{
+		less:      less,
+		cfg:       cfg,
+		rnd:       rng.New(cfg.Seed),
+		n:         snap.N,
+		bound:     snap.Bound,
+		geom:      cfg.geometryFor(snap.Bound),
+		min:       snap.Min,
+		max:       snap.Max,
+		hasMinMax: snap.HasMinMax,
+		stats:     snap.Stats,
+	}
+	s.rnd.Restore(snap.RNG)
+	s.levels = make([]compactor[T], len(snap.Levels))
+	var weight uint64
+	for h, lv := range snap.Levels {
+		if len(lv.Items) >= s.geom.b {
+			return nil, fmt.Errorf("core: snapshot level %d holds %d items ≥ capacity %d", h, len(lv.Items), s.geom.b)
+		}
+		s.levels[h] = compactor[T]{
+			buf:   append(make([]T, 0, s.geom.b), lv.Items...),
+			state: schedule.State(lv.State),
+		}
+		weight += uint64(len(lv.Items)) << uint(h)
+	}
+	if weight != snap.N {
+		return nil, fmt.Errorf("core: snapshot weight %d != n %d", weight, snap.N)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("core: snapshot invalid: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := newFloat64(t, Config{Eps: 0.05, Delta: 0.05, Seed: 300})
+	feedPerm(t, s, 1<<16, 301)
+	snap := s.Snapshot()
+	r, err := FromSnapshot(fless, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() != s.Count() || r.ItemsRetained() != s.ItemsRetained() ||
+		r.NumLevels() != s.NumLevels() || r.Bound() != s.Bound() || r.K() != s.K() {
+		t.Fatal("restored sketch differs structurally")
+	}
+	for y := 0.0; y < float64(1<<16); y += 511 {
+		if r.Rank(y) != s.Rank(y) {
+			t.Fatalf("restored rank mismatch at %v", y)
+		}
+	}
+	mn1, _ := s.Min()
+	mn2, _ := r.Min()
+	if mn1 != mn2 {
+		t.Fatal("restored min differs")
+	}
+}
+
+func TestSnapshotResumesIdentically(t *testing.T) {
+	// Continuing the original and the restored copy with the same suffix
+	// must produce identical sketches (RNG state round-trips).
+	s := newFloat64(t, Config{Eps: 0.05, Delta: 0.05, Seed: 302})
+	feedPerm(t, s, 100000, 303)
+	r, err := FromSnapshot(fless, s.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50000; i++ {
+		v := float64(i) * 1.5
+		s.Update(v)
+		r.Update(v)
+	}
+	if s.ItemsRetained() != r.ItemsRetained() {
+		t.Fatal("resumed sketches diverged in size")
+	}
+	for y := 0.0; y < 150000; y += 997 {
+		if s.Rank(y) != r.Rank(y) {
+			t.Fatalf("resumed sketches diverged at %v", y)
+		}
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	s := newFloat64(t, Config{Eps: 0.1, Delta: 0.1, Seed: 304})
+	feedPerm(t, s, 10000, 305)
+	snap := s.Snapshot()
+	countBefore := len(snap.Levels[0].Items)
+	for i := 0; i < 10000; i++ {
+		s.Update(float64(i))
+	}
+	if len(snap.Levels[0].Items) != countBefore {
+		t.Fatal("snapshot aliases live buffers")
+	}
+}
+
+func TestSnapshotEmptySketch(t *testing.T) {
+	s := newFloat64(t, Config{Eps: 0.1, Delta: 0.1})
+	r, err := FromSnapshot(fless, s.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Empty() {
+		t.Fatal("restored empty sketch not empty")
+	}
+}
+
+func TestFromSnapshotValidation(t *testing.T) {
+	s := newFloat64(t, Config{Eps: 0.1, Delta: 0.1, Seed: 306})
+	feedPerm(t, s, 50000, 307)
+	good := s.Snapshot()
+
+	t.Run("nil less", func(t *testing.T) {
+		if _, err := FromSnapshot[float64](nil, good); err == nil {
+			t.Fatal("accepted")
+		}
+	})
+	t.Run("bad config", func(t *testing.T) {
+		snap := s.Snapshot()
+		snap.Config.Eps = 7
+		if _, err := FromSnapshot(fless, snap); err == nil {
+			t.Fatal("accepted")
+		}
+	})
+	t.Run("bound below n", func(t *testing.T) {
+		snap := s.Snapshot()
+		snap.Bound = snap.N - 1
+		if _, err := FromSnapshot(fless, snap); err == nil {
+			t.Fatal("accepted")
+		}
+	})
+	t.Run("non pow2 bound", func(t *testing.T) {
+		snap := s.Snapshot()
+		snap.Bound = snap.Bound + 1
+		if _, err := FromSnapshot(fless, snap); err == nil {
+			t.Fatal("accepted")
+		}
+	})
+	t.Run("no levels", func(t *testing.T) {
+		snap := s.Snapshot()
+		snap.Levels = nil
+		if _, err := FromSnapshot(fless, snap); err == nil {
+			t.Fatal("accepted")
+		}
+	})
+	t.Run("too many levels", func(t *testing.T) {
+		snap := s.Snapshot()
+		snap.Levels = make([]LevelSnapshot[float64], 65)
+		if _, err := FromSnapshot(fless, snap); err == nil {
+			t.Fatal("accepted")
+		}
+	})
+	t.Run("weight mismatch", func(t *testing.T) {
+		snap := s.Snapshot()
+		snap.N++
+		if _, err := FromSnapshot(fless, snap); err == nil {
+			t.Fatal("accepted")
+		}
+	})
+	t.Run("oversized level", func(t *testing.T) {
+		snap := s.Snapshot()
+		extra := make([]float64, 10000)
+		snap.Levels[0].Items = append(snap.Levels[0].Items, extra...)
+		if _, err := FromSnapshot(fless, snap); err == nil {
+			t.Fatal("accepted")
+		}
+	})
+}
+
+func TestSnapshotMergedSketch(t *testing.T) {
+	cfg := Config{Eps: 0.05, Delta: 0.05}
+	a := newFloat64(t, cfg)
+	b := newFloat64(t, cfg)
+	a.cfg.Seed = 1
+	b.cfg.Seed = 2
+	feedPerm(t, a, 60000, 308)
+	feedPerm(t, b, 60000, 309)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	r, err := FromSnapshot(fless, a.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() != a.Count() {
+		t.Fatal("merged snapshot count mismatch")
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"req/internal/rng"
+)
+
+func TestWeightedZeroAndOne(t *testing.T) {
+	s := newFloat64(t, Config{Eps: 0.1, Delta: 0.1})
+	if err := s.UpdateWeighted(5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 0 {
+		t.Fatal("weight 0 counted")
+	}
+	if err := s.UpdateWeighted(5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 1 || s.Rank(5) != 1 {
+		t.Fatal("weight 1 not equivalent to Update")
+	}
+}
+
+func TestWeightedCountsAndConservation(t *testing.T) {
+	s := newFloat64(t, Config{Eps: 0.1, Delta: 0.1, Seed: 1})
+	r := rng.New(2)
+	var total uint64
+	for i := 0; i < 3000; i++ {
+		w := uint64(1 + r.Intn(50))
+		if err := s.UpdateWeighted(r.Float64(), w); err != nil {
+			t.Fatal(err)
+		}
+		total += w
+	}
+	if s.Count() != total {
+		t.Fatalf("count %d != total weight %d", s.Count(), total)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedMatchesRepeatedUpdates(t *testing.T) {
+	// Same multiset built two ways must produce rank estimates within the
+	// guarantee of each other (they use different randomness, so exact
+	// equality is not expected).
+	const distinct = 2000
+	r := rng.New(3)
+	weights := make([]uint64, distinct)
+	var n float64
+	for i := range weights {
+		weights[i] = uint64(1 + r.Intn(20))
+		n += float64(weights[i])
+	}
+	weighted := newFloat64(t, Config{Eps: 0.05, Delta: 0.05, Seed: 4})
+	repeated := newFloat64(t, Config{Eps: 0.05, Delta: 0.05, Seed: 5})
+	for i, w := range weights {
+		if err := weighted.UpdateWeighted(float64(i), w); err != nil {
+			t.Fatal(err)
+		}
+		for j := uint64(0); j < w; j++ {
+			repeated.Update(float64(i))
+		}
+	}
+	if weighted.Count() != repeated.Count() {
+		t.Fatal("counts differ")
+	}
+	var truth uint64
+	for i, w := range weights {
+		truth += w
+		a := float64(weighted.Rank(float64(i)))
+		b := float64(repeated.Rank(float64(i)))
+		tr := float64(truth)
+		if math.Abs(a-tr)/tr > 0.05 {
+			t.Fatalf("weighted rank at %d: %v vs truth %v", i, a, tr)
+		}
+		if math.Abs(b-tr)/tr > 0.05 {
+			t.Fatalf("repeated rank at %d: %v vs truth %v", i, b, tr)
+		}
+	}
+}
+
+func TestWeightedHugeWeight(t *testing.T) {
+	s := newFloat64(t, Config{Eps: 0.1, Delta: 0.1, Seed: 6})
+	if err := s.UpdateWeighted(1, 1<<40); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UpdateWeighted(2, 1<<40); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 1<<41 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Rank(1)
+	if math.Abs(float64(got)-float64(uint64(1)<<40))/float64(uint64(1)<<40) > 0.1 {
+		t.Fatalf("Rank(1) = %d, want ≈ 2^40", got)
+	}
+	// The level cap must have kept the structure compact.
+	if s.NumLevels() > 45 {
+		t.Fatalf("levels = %d", s.NumLevels())
+	}
+}
+
+func TestWeightedOverflowRejected(t *testing.T) {
+	s := newFloat64(t, Config{Eps: 0.1, Delta: 0.1})
+	if err := s.UpdateWeighted(1, maxBound+1); err != ErrWeightOverflow {
+		t.Fatalf("giant weight error = %v", err)
+	}
+	if err := s.UpdateWeighted(1, maxBound); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UpdateWeighted(2, 1); err != ErrWeightOverflow {
+		t.Fatalf("overflowing follow-up error = %v", err)
+	}
+}
+
+func TestWeightedMixedWithUnitUpdates(t *testing.T) {
+	s := newFloat64(t, Config{Eps: 0.05, Delta: 0.05, Seed: 7})
+	r := rng.New(8)
+	var total uint64
+	for i := 0; i < 50000; i++ {
+		if i%10 == 0 {
+			w := uint64(1 + r.Intn(100))
+			if err := s.UpdateWeighted(r.Float64(), w); err != nil {
+				t.Fatal(err)
+			}
+			total += w
+		} else {
+			s.Update(r.Float64())
+			total++
+		}
+	}
+	if s.Count() != total {
+		t.Fatalf("count %d != %d", s.Count(), total)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Uniform values: Rank(0.5) ≈ total/2.
+	got := float64(s.Rank(0.5))
+	if math.Abs(got-float64(total)/2)/(float64(total)/2) > 0.05 {
+		t.Fatalf("median rank %v, want ≈ %v", got, float64(total)/2)
+	}
+}
+
+func TestWeightedMinMax(t *testing.T) {
+	s := newFloat64(t, Config{Eps: 0.1, Delta: 0.1})
+	if err := s.UpdateWeighted(10, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UpdateWeighted(-3, 7); err != nil {
+		t.Fatal(err)
+	}
+	mn, _ := s.Min()
+	mx, _ := s.Max()
+	if mn != -3 || mx != 10 {
+		t.Fatalf("min/max %v/%v", mn, mx)
+	}
+}
+
+func TestWeightedMergeable(t *testing.T) {
+	cfg := Config{Eps: 0.05, Delta: 0.05}
+	a := newFloat64(t, cfg)
+	b := newFloat64(t, cfg)
+	a.cfg.Seed = 1
+	b.cfg.Seed = 2
+	for i := 0; i < 1000; i++ {
+		if err := a.UpdateWeighted(float64(i), 16); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.UpdateWeighted(float64(1000+i), 16); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 32000 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := float64(a.Rank(999))
+	if math.Abs(got-16000)/16000 > 0.05 {
+		t.Fatalf("Rank(999) = %v, want ≈ 16000", got)
+	}
+}

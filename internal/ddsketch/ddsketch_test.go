@@ -1,0 +1,214 @@
+package ddsketch
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"req/internal/rng"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, a := range []float64{0, -1, 1, 2} {
+		if _, err := New(a); err == nil {
+			t.Errorf("alpha=%v accepted", a)
+		}
+	}
+	if _, err := NewWithMaxBuckets(0.01, 1); err == nil {
+		t.Fatal("1 bucket accepted")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	s, _ := New(0.01)
+	if s.N() != 0 || s.Rank(1) != 0 {
+		t.Fatal("empty misbehaves")
+	}
+	if _, err := s.Quantile(0.5); err == nil {
+		t.Fatal("quantile on empty accepted")
+	}
+}
+
+func TestRejectsInvalidValues(t *testing.T) {
+	s, _ := New(0.01)
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1} {
+		if err := s.Update(v); err == nil {
+			t.Errorf("Update(%v) accepted", v)
+		}
+	}
+	if s.N() != 0 {
+		t.Fatal("invalid values counted")
+	}
+}
+
+func TestValueRelativeGuarantee(t *testing.T) {
+	// The defining property: quantile values are within α of the true value.
+	const n = 100000
+	const alpha = 0.01
+	s, _ := New(alpha)
+	r := rng.New(1)
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = math.Exp(r.NormFloat64() * 2) // heavy spread over decades
+		if err := s.Update(vals[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sorted := append([]float64(nil), vals...)
+	sortF(sorted)
+	for _, phi := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 0.999} {
+		got, err := s.Quantile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx := int(math.Ceil(phi*n)) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		truth := sorted[idx]
+		if math.Abs(got-truth) > alpha*truth*1.01 {
+			t.Errorf("phi=%v: value %v vs truth %v exceeds α", phi, got, truth)
+		}
+	}
+}
+
+func TestZeros(t *testing.T) {
+	s, _ := New(0.01)
+	for i := 0; i < 100; i++ {
+		if err := s.Update(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Update(5); err != nil {
+		t.Fatal(err)
+	}
+	q, err := s.Quantile(0.5)
+	if err != nil || q != 0 {
+		t.Fatalf("median with zeros = %v, %v", q, err)
+	}
+	if s.Rank(0) != 100 {
+		t.Fatalf("Rank(0) = %d", s.Rank(0))
+	}
+}
+
+func TestBucketCollapse(t *testing.T) {
+	s, err := NewWithMaxBuckets(0.01, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	for i := 0; i < 100000; i++ {
+		if err := s.Update(math.Exp(r.NormFloat64() * 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.ItemsRetained() > 33 {
+		t.Fatalf("bucket budget exceeded: %d", s.ItemsRetained())
+	}
+	// High quantiles must still be accurate after collapsing low buckets.
+	q99, err := s.Quantile(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q99 <= 0 {
+		t.Fatalf("q99 = %v", q99)
+	}
+}
+
+func TestSpaceIndependentOfN(t *testing.T) {
+	mk := func(n int) int {
+		s, _ := New(0.02)
+		r := rng.New(3)
+		for i := 0; i < n; i++ {
+			_ = s.Update(1 + r.Float64()*1000)
+		}
+		return s.ItemsRetained()
+	}
+	small, large := mk(10000), mk(300000)
+	// The footprint converges to the number of buckets needed to cover the
+	// value range (≈ log_γ(1000) ≈ 173 for α = 0.02), independent of n.
+	coverage := int(math.Log(1000)/math.Log(1.02/0.98)) + 4
+	if large > coverage {
+		t.Fatalf("DDSketch footprint %d exceeds range coverage %d", large, coverage)
+	}
+	if large > small+small/4+32 {
+		t.Fatalf("DDSketch footprint grew with n: %d -> %d", small, large)
+	}
+}
+
+func TestRankMonotone(t *testing.T) {
+	s, _ := New(0.02)
+	r := rng.New(4)
+	for i := 0; i < 50000; i++ {
+		_ = s.Update(1 + r.Float64()*999)
+	}
+	prev := uint64(0)
+	for y := 0.5; y < 1100; y += 3.7 {
+		got := s.Rank(y)
+		if got < prev {
+			t.Fatalf("rank decreased at %v", y)
+		}
+		prev = got
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, _ := New(0.01)
+	b, _ := New(0.01)
+	r := rng.New(5)
+	for i := 0; i < 50000; i++ {
+		_ = a.Update(1 + r.Float64()*100)
+		_ = b.Update(100 + r.Float64()*100)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != 100000 {
+		t.Fatalf("merged N = %d", a.N())
+	}
+	q50, err := a.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q50 < 80 || q50 > 130 {
+		t.Fatalf("merged median %v implausible", q50)
+	}
+}
+
+func TestMergeIncompatible(t *testing.T) {
+	a, _ := New(0.01)
+	b, _ := New(0.02)
+	b.n = 1
+	if err := a.Merge(b); err == nil {
+		t.Fatal("different alpha accepted")
+	}
+	a.Update(1)
+	if err := a.Merge(a); err == nil {
+		t.Fatal("self merge accepted")
+	}
+}
+
+func TestMinMaxExact(t *testing.T) {
+	s, _ := New(0.01)
+	for _, v := range []float64{5, 2, 9, 3} {
+		_ = s.Update(v)
+	}
+	mn, _ := s.Min()
+	mx, _ := s.Max()
+	if mn != 2 || mx != 9 {
+		t.Fatalf("min/max %v/%v", mn, mx)
+	}
+}
+
+func TestKeyValueRoundTrip(t *testing.T) {
+	s, _ := New(0.01)
+	for _, v := range []float64{0.001, 0.5, 1, 7.3, 1e6} {
+		k := s.key(v)
+		rep := s.value(k)
+		if math.Abs(rep-v) > s.alpha*v*1.001 {
+			t.Errorf("bucket representative %v for %v breaks α", rep, v)
+		}
+	}
+}
+
+func sortF(xs []float64) { sort.Float64s(xs) }

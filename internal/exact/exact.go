@@ -1,0 +1,140 @@
+// Package exact provides an exact rank/quantile oracle used as ground truth
+// by the test suite and the experiment harness. It stores every item, so it
+// is only suitable for evaluation-scale data, which is precisely its job:
+// the sketches are compared against it.
+package exact
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Oracle stores a multiset of float64 values and answers exact rank and
+// quantile queries. Updates are O(1) amortised; the first query after an
+// update sorts the backlog (O(m log m)). Not safe for concurrent use.
+type Oracle struct {
+	sorted []float64
+	dirty  []float64
+}
+
+// ErrEmpty is returned by quantile queries on an empty oracle.
+var ErrEmpty = errors.New("exact: empty oracle")
+
+// New returns an empty oracle, optionally pre-sized for n items.
+func New(sizeHint int) *Oracle {
+	return &Oracle{
+		sorted: make([]float64, 0, sizeHint),
+	}
+}
+
+// FromValues builds an oracle over a copy of vals.
+func FromValues(vals []float64) *Oracle {
+	o := New(len(vals))
+	o.dirty = append(o.dirty, vals...)
+	return o
+}
+
+// Update inserts one value.
+func (o *Oracle) Update(v float64) {
+	o.dirty = append(o.dirty, v)
+}
+
+// N returns the number of values stored.
+func (o *Oracle) N() uint64 {
+	return uint64(len(o.sorted) + len(o.dirty))
+}
+
+// settle merges the dirty backlog into the sorted store.
+func (o *Oracle) settle() {
+	if len(o.dirty) == 0 {
+		return
+	}
+	sort.Float64s(o.dirty)
+	if len(o.sorted) == 0 {
+		o.sorted, o.dirty = o.dirty, o.sorted[:0]
+		return
+	}
+	merged := make([]float64, 0, len(o.sorted)+len(o.dirty))
+	i, j := 0, 0
+	for i < len(o.sorted) && j < len(o.dirty) {
+		if o.sorted[i] <= o.dirty[j] {
+			merged = append(merged, o.sorted[i])
+			i++
+		} else {
+			merged = append(merged, o.dirty[j])
+			j++
+		}
+	}
+	merged = append(merged, o.sorted[i:]...)
+	merged = append(merged, o.dirty[j:]...)
+	o.sorted = merged
+	o.dirty = o.dirty[:0]
+}
+
+// Rank returns the exact inclusive rank of y: |{x : x ≤ y}|.
+func (o *Oracle) Rank(y float64) uint64 {
+	o.settle()
+	return uint64(sort.SearchFloat64s(o.sorted, math.Nextafter(y, math.Inf(1))))
+}
+
+// RankExclusive returns the exact exclusive rank of y: |{x : x < y}|.
+func (o *Oracle) RankExclusive(y float64) uint64 {
+	o.settle()
+	return uint64(sort.SearchFloat64s(o.sorted, y))
+}
+
+// Quantile returns the item at normalized inclusive rank φ: the smallest
+// value whose inclusive rank is ≥ ⌈φ·n⌉.
+func (o *Oracle) Quantile(phi float64) (float64, error) {
+	o.settle()
+	if len(o.sorted) == 0 {
+		return 0, ErrEmpty
+	}
+	if math.IsNaN(phi) || phi < 0 || phi > 1 {
+		return 0, errors.New("exact: rank out of [0, 1]")
+	}
+	idx := int(math.Ceil(phi*float64(len(o.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(o.sorted) {
+		idx = len(o.sorted) - 1
+	}
+	return o.sorted[idx], nil
+}
+
+// Min returns the smallest value. ok is false when empty.
+func (o *Oracle) Min() (v float64, ok bool) {
+	o.settle()
+	if len(o.sorted) == 0 {
+		return 0, false
+	}
+	return o.sorted[0], true
+}
+
+// Max returns the largest value. ok is false when empty.
+func (o *Oracle) Max() (v float64, ok bool) {
+	o.settle()
+	if len(o.sorted) == 0 {
+		return 0, false
+	}
+	return o.sorted[len(o.sorted)-1], true
+}
+
+// Values returns the sorted values. The slice is shared; callers must not
+// modify it.
+func (o *Oracle) Values() []float64 {
+	o.settle()
+	return o.sorted
+}
+
+// ItemOfRank returns the value whose inclusive rank is r (1-based): the
+// r-th smallest. It panics if r is out of [1, n].
+func (o *Oracle) ItemOfRank(r uint64) float64 {
+	o.settle()
+	if r < 1 || r > uint64(len(o.sorted)) {
+		panic("exact: rank out of range")
+	}
+	return o.sorted[r-1]
+}

@@ -1,0 +1,210 @@
+package exact
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"req/internal/rng"
+)
+
+func TestEmpty(t *testing.T) {
+	o := New(0)
+	if o.N() != 0 {
+		t.Fatal("fresh oracle not empty")
+	}
+	if o.Rank(5) != 0 {
+		t.Fatal("rank on empty != 0")
+	}
+	if _, err := o.Quantile(0.5); err != ErrEmpty {
+		t.Fatalf("quantile on empty: %v", err)
+	}
+	if _, ok := o.Min(); ok {
+		t.Fatal("min on empty ok")
+	}
+	if _, ok := o.Max(); ok {
+		t.Fatal("max on empty ok")
+	}
+}
+
+func TestRankBasics(t *testing.T) {
+	o := FromValues([]float64{1, 2, 2, 2, 5})
+	cases := []struct {
+		y    float64
+		incl uint64
+		excl uint64
+	}{
+		{0, 0, 0}, {1, 1, 0}, {1.5, 1, 1}, {2, 4, 1}, {3, 4, 4}, {5, 5, 4}, {6, 5, 5},
+	}
+	for _, c := range cases {
+		if got := o.Rank(c.y); got != c.incl {
+			t.Errorf("Rank(%v) = %d, want %d", c.y, got, c.incl)
+		}
+		if got := o.RankExclusive(c.y); got != c.excl {
+			t.Errorf("RankExclusive(%v) = %d, want %d", c.y, got, c.excl)
+		}
+	}
+}
+
+func TestRankMatchesNaive(t *testing.T) {
+	f := func(vals []float64, y float64) bool {
+		o := FromValues(vals)
+		incl, excl := uint64(0), uint64(0)
+		for _, v := range vals {
+			if v <= y {
+				incl++
+			}
+			if v < y {
+				excl++
+			}
+		}
+		return o.Rank(y) == incl && o.RankExclusive(y) == excl
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleavedUpdatesAndQueries(t *testing.T) {
+	o := New(0)
+	r := rng.New(1)
+	naive := []float64{}
+	for i := 0; i < 2000; i++ {
+		v := r.Float64()
+		o.Update(v)
+		naive = append(naive, v)
+		if i%97 == 0 {
+			y := r.Float64()
+			want := uint64(0)
+			for _, x := range naive {
+				if x <= y {
+					want++
+				}
+			}
+			if got := o.Rank(y); got != want {
+				t.Fatalf("step %d: Rank(%v) = %d, want %d", i, y, got, want)
+			}
+		}
+	}
+	if o.N() != 2000 {
+		t.Fatalf("N = %d", o.N())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	o := FromValues([]float64{10, 20, 30, 40, 50})
+	cases := []struct {
+		phi  float64
+		want float64
+	}{
+		{0, 10}, {0.2, 10}, {0.21, 20}, {0.5, 30}, {0.99, 50}, {1, 50},
+	}
+	for _, c := range cases {
+		got, err := o.Quantile(c.phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.phi, got, c.want)
+		}
+	}
+}
+
+func TestQuantileRejectsBadPhi(t *testing.T) {
+	o := FromValues([]float64{1})
+	for _, phi := range []float64{-0.5, 1.5, math.NaN()} {
+		if _, err := o.Quantile(phi); err == nil {
+			t.Errorf("Quantile(%v) accepted", phi)
+		}
+	}
+}
+
+func TestQuantileRankInverse(t *testing.T) {
+	r := rng.New(2)
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = r.Float64()
+	}
+	o := FromValues(vals)
+	for _, phi := range []float64{0.001, 0.1, 0.5, 0.9, 0.999} {
+		q, err := o.Quantile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rank := o.Rank(q)
+		target := uint64(math.Ceil(phi * 1000))
+		if target == 0 {
+			target = 1
+		}
+		if rank < target {
+			t.Errorf("phi=%v: Rank(Quantile)=%d < target %d", phi, rank, target)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	o := FromValues([]float64{3, 1, 4, 1, 5})
+	mn, _ := o.Min()
+	mx, _ := o.Max()
+	if mn != 1 || mx != 5 {
+		t.Fatalf("min/max = %v/%v", mn, mx)
+	}
+}
+
+func TestItemOfRank(t *testing.T) {
+	o := FromValues([]float64{30, 10, 20})
+	if o.ItemOfRank(1) != 10 || o.ItemOfRank(2) != 20 || o.ItemOfRank(3) != 30 {
+		t.Fatal("ItemOfRank wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range rank did not panic")
+		}
+	}()
+	o.ItemOfRank(4)
+}
+
+func TestValuesSorted(t *testing.T) {
+	o := New(0)
+	r := rng.New(3)
+	for i := 0; i < 5000; i++ {
+		o.Update(r.Float64())
+	}
+	vals := o.Values()
+	for i := 1; i < len(vals); i++ {
+		if vals[i] < vals[i-1] {
+			t.Fatal("values not sorted")
+		}
+	}
+}
+
+func TestDuplicatesPreserved(t *testing.T) {
+	o := New(0)
+	for i := 0; i < 100; i++ {
+		o.Update(7)
+	}
+	if o.Rank(7) != 100 {
+		t.Fatalf("Rank(7) = %d", o.Rank(7))
+	}
+	if o.Rank(6.999) != 0 {
+		t.Fatal("rank below duplicate value not 0")
+	}
+}
+
+func TestSettleMergePath(t *testing.T) {
+	// Force the merge path: settle, then add more and settle again.
+	o := New(0)
+	for i := 10; i > 0; i-- {
+		o.Update(float64(i))
+	}
+	_ = o.Rank(5) // settles
+	for i := 20; i > 10; i-- {
+		o.Update(float64(i))
+	}
+	if got := o.Rank(15); got != 15 {
+		t.Fatalf("Rank(15) = %d, want 15", got)
+	}
+	if o.N() != 20 {
+		t.Fatalf("N = %d", o.N())
+	}
+}

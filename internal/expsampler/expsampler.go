@@ -1,0 +1,256 @@
+// Package expsampler implements a multi-level bottom-k sampling sketch for
+// relative-error rank estimation, in the style of Gupta–Zane ("Counting
+// inversions in lists", SODA 2003) and Zhang et al. ("Space-efficient
+// relative error order sketch over data streams", ICDE 2006).
+//
+// Level i subsamples the stream at rate 2^{-i} and retains only the m
+// smallest sampled items, with m = Θ(1/ε²). Level 0 therefore stores the m
+// smallest stream items exactly; each higher level covers a rank range a
+// factor two larger at half the resolution. A rank query for y is answered
+// at the lowest level that still "covers" y (y below the level's retention
+// threshold), scaling the sampled count by 2^i. A Chernoff bound gives
+// |R̂(y) − R(y)| ≤ ε·R(y) with constant probability.
+//
+// Total space is Θ(ε⁻²·log(ε²n)) items — the quadratic-in-1/ε regime the
+// REQ paper's introduction cites for sampling-based solutions ([11], [22]).
+// The harness uses this package as that comparator (experiment E3): REQ's
+// linear 1/ε dependence versus sampling's 1/ε².
+package expsampler
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"req/internal/rng"
+)
+
+// Sketch is a multi-level bottom-k sampler. Not safe for concurrent use.
+type Sketch struct {
+	m      int // per-level retention capacity, Θ(1/ε²)
+	eps    float64
+	levels []level
+	n      uint64
+	rnd    *rng.Source
+}
+
+// level retains the m smallest items sampled at rate 2^{-i} in a max-heap.
+type level struct {
+	heap    []float64 // max-heap: heap[0] is the largest retained item
+	sampled uint64    // total items sampled into this level (diagnostics)
+}
+
+// New returns an empty sampler targeting relative error eps with the given
+// seed. Capacity per level is m = ⌈2/ε²⌉.
+func New(eps float64, seed uint64) (*Sketch, error) {
+	if eps <= 0 || eps >= 1 {
+		return nil, errors.New("expsampler: eps out of (0, 1)")
+	}
+	m := int(math.Ceil(2 / (eps * eps)))
+	if m < 8 {
+		m = 8
+	}
+	return &Sketch{
+		m:   m,
+		eps: eps,
+		// All 64 levels exist from the start (empty levels cost nothing):
+		// allocating a level lazily would silently exclude items that
+		// arrived before the allocation from its sample, biasing counts.
+		levels: make([]level, 64),
+		rnd:    rng.New(seed),
+	}, nil
+}
+
+// Epsilon returns the target error parameter.
+func (s *Sketch) Epsilon() float64 { return s.eps }
+
+// CapacityPerLevel returns m.
+func (s *Sketch) CapacityPerLevel() int { return s.m }
+
+// N returns the number of items processed.
+func (s *Sketch) N() uint64 { return s.n }
+
+// NumLevels returns the number of levels holding at least one item.
+func (s *Sketch) NumLevels() int {
+	n := 0
+	for i := range s.levels {
+		if len(s.levels[i].heap) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ItemsRetained returns the total number of stored items.
+func (s *Sketch) ItemsRetained() int {
+	total := 0
+	for i := range s.levels {
+		total += len(s.levels[i].heap)
+	}
+	return total
+}
+
+// Update inserts one value. NaN is ignored.
+func (s *Sketch) Update(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	s.n++
+	// Geometric level draw: the item is sampled at level i iff the first i
+	// coin flips all land heads, i.e. i ≤ (number of trailing zeros).
+	g := trailingZeros(s.rnd.Uint64())
+	if g >= len(s.levels) {
+		g = len(s.levels) - 1
+	}
+	for i := 0; i <= g; i++ {
+		s.levels[i].offer(v, s.m)
+	}
+}
+
+func trailingZeros(x uint64) int {
+	if x == 0 {
+		return 64
+	}
+	n := 0
+	for x&1 == 0 {
+		n++
+		x >>= 1
+	}
+	return n
+}
+
+// offer inserts v into the bottom-m heap, evicting the largest if full.
+func (l *level) offer(v float64, m int) {
+	l.sampled++
+	if len(l.heap) < m {
+		l.heap = append(l.heap, v)
+		siftUp(l.heap, len(l.heap)-1)
+		return
+	}
+	if v < l.heap[0] {
+		l.heap[0] = v
+		siftDownHeap(l.heap, 0)
+	}
+}
+
+func siftUp(h []float64, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent] >= h[i] {
+			return
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+func siftDownHeap(h []float64, i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && h[l] > h[largest] {
+			largest = l
+		}
+		if r < n && h[r] > h[largest] {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h[i], h[largest] = h[largest], h[i]
+		i = largest
+	}
+}
+
+// covers reports whether the level's retained set includes every sampled
+// item ≤ y, which is the condition for an unbiased count.
+func (l *level) covers(y float64, m int) bool {
+	return len(l.heap) < m || y <= l.heap[0]
+}
+
+// countLE counts retained items ≤ y.
+func (l *level) countLE(y float64) uint64 {
+	var c uint64
+	for _, v := range l.heap {
+		if v <= y {
+			c++
+		}
+	}
+	return c
+}
+
+// Rank returns the estimated inclusive rank of y: the sampled count at the
+// lowest covering level, scaled by its rate.
+func (s *Sketch) Rank(y float64) uint64 {
+	for i := range s.levels {
+		if s.levels[i].covers(y, s.m) {
+			return s.levels[i].countLE(y) << uint(i)
+		}
+	}
+	// No level covers y (can only happen when every level is saturated
+	// below y); fall back to the top level's floor.
+	top := len(s.levels) - 1
+	return s.levels[top].countLE(y) << uint(top)
+}
+
+// Quantile returns the estimated φ-quantile by inverting Rank over the
+// retained values.
+func (s *Sketch) Quantile(phi float64) (float64, error) {
+	if s.n == 0 {
+		return 0, errors.New("expsampler: empty sketch")
+	}
+	if math.IsNaN(phi) || phi < 0 || phi > 1 {
+		return 0, errors.New("expsampler: rank out of [0, 1]")
+	}
+	candidates := make([]float64, 0, s.ItemsRetained())
+	for i := range s.levels {
+		candidates = append(candidates, s.levels[i].heap...)
+	}
+	if len(candidates) == 0 {
+		return 0, errors.New("expsampler: no retained items")
+	}
+	sort.Float64s(candidates)
+	target := uint64(math.Ceil(phi * float64(s.n)))
+	if target == 0 {
+		target = 1
+	}
+	// Rank is monotone over candidates; binary search the smallest
+	// candidate with Rank ≥ target.
+	lo, hi := 0, len(candidates)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.Rank(candidates[mid]) < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return candidates[lo], nil
+}
+
+// Merge absorbs other into s. Both must share eps (hence m). The union of
+// two independent bottom-m samples at the same rate is a valid bottom-m
+// sample of the concatenated stream, so merging is exact.
+func (s *Sketch) Merge(other *Sketch) error {
+	if other == nil || other.n == 0 {
+		return nil
+	}
+	if other == s {
+		return errors.New("expsampler: cannot merge a sketch into itself")
+	}
+	if other.eps != s.eps {
+		return errors.New("expsampler: cannot merge different eps")
+	}
+	for len(s.levels) < len(other.levels) {
+		s.levels = append(s.levels, level{})
+	}
+	for i := range other.levels {
+		for _, v := range other.levels[i].heap {
+			s.levels[i].offer(v, s.m)
+		}
+		s.levels[i].sampled += other.levels[i].sampled - uint64(len(other.levels[i].heap))
+	}
+	s.n += other.n
+	return nil
+}

@@ -1,0 +1,227 @@
+package expsampler
+
+import (
+	"math"
+	"testing"
+
+	"req/internal/rng"
+)
+
+func feed(s *Sketch, n int, seed uint64) {
+	r := rng.New(seed)
+	for _, v := range r.Perm(n) {
+		s.Update(float64(v))
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, eps := range []float64{0, -1, 1, 5} {
+		if _, err := New(eps, 1); err == nil {
+			t.Errorf("eps=%v accepted", eps)
+		}
+	}
+	s, err := New(0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CapacityPerLevel() != 200 { // ceil(2/0.01)
+		t.Fatalf("m = %d", s.CapacityPerLevel())
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	s, _ := New(0.1, 1)
+	if s.N() != 0 {
+		t.Fatal("not empty")
+	}
+	if _, err := s.Quantile(0.5); err == nil {
+		t.Fatal("quantile on empty accepted")
+	}
+}
+
+func TestLevelZeroExactForLowRanks(t *testing.T) {
+	// Level 0 keeps the m smallest items exactly, so ranks up to m are
+	// answered with zero error.
+	s, _ := New(0.1, 2)
+	feed(s, 100000, 3)
+	m := s.CapacityPerLevel()
+	for q := 1; q <= m; q += m / 8 {
+		if got := s.Rank(float64(q - 1)); got != uint64(q) {
+			t.Fatalf("low rank %d estimated %d, want exact", q, got)
+		}
+	}
+}
+
+func TestRelativeErrorModerate(t *testing.T) {
+	const n = 1 << 18
+	s, _ := New(0.05, 4)
+	feed(s, n, 5)
+	// Sampling guarantees ε relative error w.h.p.; allow 3x slack at a
+	// fixed seed.
+	for rank := 64; rank <= n; rank *= 4 {
+		got := float64(s.Rank(float64(rank - 1)))
+		rel := math.Abs(got-float64(rank)) / float64(rank)
+		if rel > 0.15 {
+			t.Errorf("rank %d: estimate %v rel %.4f", rank, got, rel)
+		}
+	}
+}
+
+func TestSpaceQuadraticInInvEps(t *testing.T) {
+	// Halving eps must roughly quadruple the per-level capacity — the
+	// defining disadvantage vs. REQ (experiment E3).
+	a, _ := New(0.1, 1)
+	b, _ := New(0.05, 1)
+	ratio := float64(b.CapacityPerLevel()) / float64(a.CapacityPerLevel())
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("capacity ratio %v, want ≈4", ratio)
+	}
+}
+
+func TestItemsRetainedBounded(t *testing.T) {
+	s, _ := New(0.1, 6)
+	const n = 1 << 18
+	feed(s, n, 7)
+	// ≈ m·log2(n/m) + O(m): for m=200, n=262144: ~200·11 + slack.
+	if got := s.ItemsRetained(); got > 4000 {
+		t.Fatalf("retained %d items", got)
+	}
+	if s.NumLevels() < 5 {
+		t.Fatalf("only %d non-empty levels", s.NumLevels())
+	}
+}
+
+func TestRankApproximatelyMonotone(t *testing.T) {
+	// Unlike the coreset sketches, the multi-level estimator switches
+	// levels as y grows, and estimates at a switch point come from
+	// different samples — strict monotonicity is not guaranteed, but any
+	// decrease must stay within the sampling error.
+	s, _ := New(0.1, 8)
+	feed(s, 100000, 9)
+	prev := uint64(0)
+	for y := -5.0; y < 100010; y += 911 {
+		got := s.Rank(y)
+		if float64(got) < 0.7*float64(prev) {
+			t.Fatalf("rank dropped beyond sampling error at %v: %d < %d", y, got, prev)
+		}
+		if got > prev {
+			prev = got
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	const n = 1 << 17
+	s, _ := New(0.05, 10)
+	feed(s, n, 11)
+	for _, phi := range []float64{0.001, 0.01, 0.1, 0.5, 0.9} {
+		q, err := s.Quantile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRank := phi * n
+		gotRank := q + 1 // permutation: rank of v is v+1
+		if wantRank >= 16 && math.Abs(gotRank-wantRank)/wantRank > 0.2 {
+			t.Errorf("phi=%v: quantile %v (rank %v), want rank %v", phi, q, gotRank, wantRank)
+		}
+	}
+}
+
+func TestQuantileRejectsBad(t *testing.T) {
+	s, _ := New(0.1, 1)
+	s.Update(1)
+	for _, phi := range []float64{-1, 2, math.NaN()} {
+		if _, err := s.Quantile(phi); err == nil {
+			t.Errorf("Quantile(%v) accepted", phi)
+		}
+	}
+}
+
+func TestNaNIgnored(t *testing.T) {
+	s, _ := New(0.1, 1)
+	s.Update(math.NaN())
+	if s.N() != 0 {
+		t.Fatal("NaN counted")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	const n = 1 << 17
+	a, _ := New(0.05, 12)
+	b, _ := New(0.05, 13)
+	r := rng.New(14)
+	for i, v := range r.Perm(n) {
+		if i%2 == 0 {
+			a.Update(float64(v))
+		} else {
+			b.Update(float64(v))
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != n {
+		t.Fatalf("merged N = %d", a.N())
+	}
+	for rank := 64; rank <= n; rank *= 8 {
+		got := float64(a.Rank(float64(rank - 1)))
+		rel := math.Abs(got-float64(rank)) / float64(rank)
+		if rel > 0.2 {
+			t.Errorf("merged rank %d: rel %.4f", rank, rel)
+		}
+	}
+}
+
+func TestMergeValidation(t *testing.T) {
+	a, _ := New(0.05, 1)
+	b, _ := New(0.1, 2)
+	b.Update(1)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("different eps accepted")
+	}
+	a.Update(1)
+	if err := a.Merge(a); err == nil {
+		t.Fatal("self merge accepted")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatal("nil merge should be no-op")
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	mk := func() uint64 {
+		s, _ := New(0.1, 99)
+		feed(s, 50000, 100)
+		return s.Rank(25000)
+	}
+	if mk() != mk() {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestHeapProperty(t *testing.T) {
+	s, _ := New(0.2, 15)
+	feed(s, 20000, 16)
+	for li := range s.levels {
+		h := s.levels[li].heap
+		for i := 1; i < len(h); i++ {
+			if h[i] > h[(i-1)/2] {
+				t.Fatalf("level %d: heap property violated at %d", li, i)
+			}
+		}
+	}
+}
+
+func TestTrailingZeros(t *testing.T) {
+	cases := []struct {
+		x    uint64
+		want int
+	}{
+		{0, 64}, {1, 0}, {2, 1}, {4, 2}, {8, 3}, {12, 2}, {1 << 63, 63},
+	}
+	for _, c := range cases {
+		if got := trailingZeros(c.x); got != c.want {
+			t.Errorf("trailingZeros(%d) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}

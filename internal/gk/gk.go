@@ -1,0 +1,211 @@
+// Package gk implements the Greenwald–Khanna deterministic quantile summary
+// ("Space-Efficient Online Computation of Quantile Summaries", SIGMOD 2001)
+// for float64 streams.
+//
+// GK guarantees |R̂(y) − R(y)| ≤ εn deterministically in O(ε⁻¹·log(εn))
+// space — the best known deterministic additive-error bound, and the
+// deterministic additive baseline in the experiment harness. Like KLL its
+// guarantee is additive, so its relative error at tail ranks diverges; the
+// REQ paper's Section 1 comparison is reproduced by experiment E4.
+//
+// The summary is the classic tuple list (vᵢ, gᵢ, Δᵢ): vᵢ ascending, gᵢ the
+// increment of minimum rank over the previous tuple, Δᵢ the extra rank
+// uncertainty, with the invariant gᵢ + Δᵢ ≤ ⌊2εn⌋. Inserts are batched:
+// values are buffered up to ⌈1/(2ε)⌉, sorted, merged into the list in one
+// linear pass (per-item list insertion would be quadratic — this is the
+// standard production optimisation), then a right-to-left COMPRESS pass
+// merges tuples while the invariant allows.
+package gk
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Sketch is a GK quantile summary. Not safe for concurrent use.
+type Sketch struct {
+	eps    float64
+	n      uint64
+	tuples []tuple
+	buf    []float64
+	bufCap int
+}
+
+type tuple struct {
+	v float64
+	g uint64
+	d uint64
+}
+
+// New returns an empty summary with additive error parameter eps ∈ (0, 1).
+func New(eps float64) (*Sketch, error) {
+	if eps <= 0 || eps >= 1 {
+		return nil, errors.New("gk: eps out of (0, 1)")
+	}
+	bufCap := int(math.Ceil(1 / (2 * eps)))
+	if bufCap < 1 {
+		bufCap = 1
+	}
+	return &Sketch{eps: eps, bufCap: bufCap, buf: make([]float64, 0, bufCap)}, nil
+}
+
+// Epsilon returns the error parameter.
+func (s *Sketch) Epsilon() float64 { return s.eps }
+
+// N returns the number of items summarised.
+func (s *Sketch) N() uint64 { return uint64(len(s.buf)) + s.n }
+
+// ItemsRetained returns the number of stored tuples plus buffered values.
+func (s *Sketch) ItemsRetained() int { return len(s.tuples) + len(s.buf) }
+
+// Update inserts one value. NaN is ignored.
+func (s *Sketch) Update(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	s.buf = append(s.buf, v)
+	if len(s.buf) >= s.bufCap {
+		s.flush()
+	}
+}
+
+// threshold returns ⌊2εn⌋, the invariant bound at the current n.
+func (s *Sketch) threshold() uint64 {
+	return uint64(2 * s.eps * float64(s.n))
+}
+
+// flush merges the buffered batch into the tuple list and compresses.
+func (s *Sketch) flush() {
+	if len(s.buf) == 0 {
+		return
+	}
+	sort.Float64s(s.buf)
+	oldMin, oldMax := math.Inf(1), math.Inf(-1)
+	if len(s.tuples) > 0 {
+		oldMin = s.tuples[0].v
+		oldMax = s.tuples[len(s.tuples)-1].v
+	}
+	merged := make([]tuple, 0, len(s.tuples)+len(s.buf))
+	ti := 0
+	for _, v := range s.buf {
+		for ti < len(s.tuples) && s.tuples[ti].v <= v {
+			merged = append(merged, s.tuples[ti])
+			ti++
+		}
+		s.n++
+		var d uint64
+		// A value inserted strictly inside the summarised range carries
+		// Δ = ⌊2εn⌋ (the loose standard setting); new extremes have exactly
+		// known rank at insertion time and carry Δ = 0.
+		if v > oldMin && v < oldMax {
+			d = s.threshold()
+			if d > 0 {
+				d--
+			}
+		}
+		merged = append(merged, tuple{v: v, g: 1, d: d})
+	}
+	merged = append(merged, s.tuples[ti:]...)
+	s.tuples = merged
+	s.buf = s.buf[:0]
+	s.compress()
+}
+
+// compress performs the paper's COMPRESS in one right-to-left pass: tuple i
+// is merged into its successor while g_i + g_{i+1} + Δ_{i+1} ≤ ⌊2εn⌋. The
+// first and last tuples (exact min and max) are never merged away.
+func (s *Sketch) compress() {
+	if len(s.tuples) < 3 {
+		return
+	}
+	thr := s.threshold()
+	out := make([]tuple, 0, len(s.tuples))
+	out = append(out, s.tuples[len(s.tuples)-1])
+	for i := len(s.tuples) - 2; i >= 1; i-- {
+		cur := s.tuples[i]
+		top := &out[len(out)-1]
+		if cur.g+top.g+top.d <= thr {
+			top.g += cur.g
+		} else {
+			out = append(out, cur)
+		}
+	}
+	out = append(out, s.tuples[0])
+	// Reverse into ascending order.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	s.tuples = out
+}
+
+// Rank returns the estimated inclusive rank of y: the midpoint of the rank
+// bounds the summary proves for y.
+func (s *Sketch) Rank(y float64) uint64 {
+	s.flush()
+	if len(s.tuples) == 0 {
+		return 0
+	}
+	if y < s.tuples[0].v {
+		return 0
+	}
+	var rmin uint64
+	for i := range s.tuples {
+		if s.tuples[i].v > y {
+			// y lies in [v_{i-1}, v_i): rank(y) ∈ [rmin, rmin+g_i+Δ_i−1].
+			spread := s.tuples[i].g + s.tuples[i].d
+			if spread > 0 {
+				spread--
+			}
+			return rmin + spread/2
+		}
+		rmin += s.tuples[i].g
+	}
+	return s.n // y ≥ max
+}
+
+// Quantile returns the estimated φ-quantile, φ ∈ [0, 1].
+func (s *Sketch) Quantile(phi float64) (float64, error) {
+	s.flush()
+	if s.n == 0 {
+		return 0, errors.New("gk: empty sketch")
+	}
+	if math.IsNaN(phi) || phi < 0 || phi > 1 {
+		return 0, errors.New("gk: rank out of [0, 1]")
+	}
+	target := uint64(math.Ceil(phi * float64(s.n)))
+	if target == 0 {
+		target = 1
+	}
+	slack := s.threshold() / 2
+	var rmin uint64
+	for i := range s.tuples {
+		rmin += s.tuples[i].g
+		rmax := rmin + s.tuples[i].d
+		if rmax >= target && target <= rmin+slack {
+			return s.tuples[i].v, nil
+		}
+		if rmin >= target+slack {
+			return s.tuples[i].v, nil
+		}
+	}
+	return s.tuples[len(s.tuples)-1].v, nil
+}
+
+// Min returns the exact minimum. ok is false when empty.
+func (s *Sketch) Min() (float64, bool) {
+	s.flush()
+	if len(s.tuples) == 0 {
+		return 0, false
+	}
+	return s.tuples[0].v, true
+}
+
+// Max returns the exact maximum. ok is false when empty.
+func (s *Sketch) Max() (float64, bool) {
+	s.flush()
+	if len(s.tuples) == 0 {
+		return 0, false
+	}
+	return s.tuples[len(s.tuples)-1].v, true
+}

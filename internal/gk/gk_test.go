@@ -1,0 +1,222 @@
+package gk
+
+import (
+	"math"
+	"testing"
+
+	"req/internal/exact"
+	"req/internal/rng"
+)
+
+func feed(s *Sketch, n int, seed uint64) []float64 {
+	r := rng.New(seed)
+	vals := make([]float64, n)
+	for i, v := range r.Perm(n) {
+		vals[i] = float64(v)
+	}
+	for _, v := range vals {
+		s.Update(v)
+	}
+	return vals
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, eps := range []float64{0, -0.5, 1, 2} {
+		if _, err := New(eps); err == nil {
+			t.Errorf("eps=%v accepted", eps)
+		}
+	}
+	if _, err := New(0.01); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	s, _ := New(0.01)
+	if s.N() != 0 || s.Rank(1) != 0 {
+		t.Fatal("empty sketch misbehaves")
+	}
+	if _, err := s.Quantile(0.5); err == nil {
+		t.Fatal("quantile on empty accepted")
+	}
+}
+
+func TestExactTinyStream(t *testing.T) {
+	s, _ := New(0.05)
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Update(v)
+	}
+	for q := 1; q <= 5; q++ {
+		if got := s.Rank(float64(q)); got != uint64(q) {
+			t.Fatalf("Rank(%d) = %d", q, got)
+		}
+	}
+}
+
+func TestAdditiveErrorBound(t *testing.T) {
+	// GK's guarantee is deterministic: |err| ≤ εn always.
+	const n = 1 << 17
+	const eps = 0.01
+	s, _ := New(eps)
+	feed(s, n, 1)
+	for q := 1; q <= n; q += n / 64 {
+		got := float64(s.Rank(float64(q - 1)))
+		if math.Abs(got-float64(q)) > eps*n+1 {
+			t.Fatalf("rank %d: estimate %v breaks deterministic bound εn=%v", q, got, eps*n)
+		}
+	}
+}
+
+func TestAdditiveErrorBoundSortedInputs(t *testing.T) {
+	const n = 100000
+	const eps = 0.02
+	for name, gen := range map[string]func(i int) float64{
+		"ascending":  func(i int) float64 { return float64(i) },
+		"descending": func(i int) float64 { return float64(n - i) },
+	} {
+		s, _ := New(eps)
+		for i := 0; i < n; i++ {
+			s.Update(gen(i))
+		}
+		for q := 1; q <= n; q += n / 32 {
+			got := float64(s.Rank(float64(q)))
+			want := float64(q)
+			if name == "descending" {
+				want = float64(q)
+			}
+			if math.Abs(got-want) > eps*n+1 {
+				t.Fatalf("%s rank %d: estimate %v", name, q, got)
+			}
+		}
+	}
+}
+
+func TestSpaceSublinear(t *testing.T) {
+	const eps = 0.01
+	s, _ := New(eps)
+	feed(s, 1<<18, 2)
+	// O(ε⁻¹·log(εn)) ≈ 100·log2(2621) ≈ 1140; allow generous constant.
+	if s.ItemsRetained() > 20000 {
+		t.Fatalf("GK stores %d tuples, expected O(1/eps log(eps n))", s.ItemsRetained())
+	}
+	if s.ItemsRetained() < 10 {
+		t.Fatalf("GK stores suspiciously few tuples: %d", s.ItemsRetained())
+	}
+}
+
+func TestMinMaxExact(t *testing.T) {
+	s, _ := New(0.02)
+	vals := feed(s, 50000, 3)
+	mn, mx := vals[0], vals[0]
+	for _, v := range vals {
+		mn = math.Min(mn, v)
+		mx = math.Max(mx, v)
+	}
+	gotMin, _ := s.Min()
+	gotMax, _ := s.Max()
+	if gotMin != mn || gotMax != mx {
+		t.Fatalf("min/max = %v/%v, want %v/%v", gotMin, gotMax, mn, mx)
+	}
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	const n = 100000
+	const eps = 0.01
+	s, _ := New(eps)
+	vals := feed(s, n, 4)
+	oracle := exact.FromValues(vals)
+	for _, phi := range []float64{0.05, 0.25, 0.5, 0.75, 0.95} {
+		got, err := s.Quantile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trueRank := float64(oracle.Rank(got))
+		if math.Abs(trueRank-phi*n) > 2*eps*n {
+			t.Errorf("phi=%v: quantile %v has true rank %v (want %v±%v)", phi, got, trueRank, phi*n, 2*eps*n)
+		}
+	}
+}
+
+func TestQuantileRejectsBad(t *testing.T) {
+	s, _ := New(0.1)
+	s.Update(1)
+	for _, phi := range []float64{-1, 2, math.NaN()} {
+		if _, err := s.Quantile(phi); err == nil {
+			t.Errorf("Quantile(%v) accepted", phi)
+		}
+	}
+}
+
+func TestRankBelowAboveRange(t *testing.T) {
+	s, _ := New(0.05)
+	feed(s, 10000, 5)
+	if s.Rank(-5) != 0 {
+		t.Fatal("rank below min not 0")
+	}
+	if s.Rank(1e12) != 10000 {
+		t.Fatal("rank above max not n")
+	}
+}
+
+func TestNaNIgnored(t *testing.T) {
+	s, _ := New(0.1)
+	s.Update(math.NaN())
+	if s.N() != 0 {
+		t.Fatal("NaN counted")
+	}
+}
+
+func TestInvariantGD(t *testing.T) {
+	// The GK invariant: g_i + Δ_i ≤ ⌊2εn⌋ for every tuple (allowing the
+	// boundary tuples their exact-rank status).
+	const eps = 0.02
+	s, _ := New(eps)
+	feed(s, 100000, 6)
+	s.flush()
+	thr := s.threshold()
+	for i, tp := range s.tuples {
+		if tp.g+tp.d > thr+1 {
+			t.Fatalf("tuple %d: g+Δ = %d > 2εn = %d", i, tp.g+tp.d, thr)
+		}
+	}
+}
+
+func TestGSumEqualsN(t *testing.T) {
+	s, _ := New(0.02)
+	feed(s, 77777, 7)
+	s.flush()
+	var g uint64
+	for _, tp := range s.tuples {
+		g += tp.g
+	}
+	if g != s.N() {
+		t.Fatalf("Σg = %d != n = %d", g, s.N())
+	}
+}
+
+func TestDuplicates(t *testing.T) {
+	s, _ := New(0.05)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		s.Update(42)
+	}
+	if got := s.Rank(42); got != n {
+		t.Fatalf("Rank(42) = %d", got)
+	}
+	if got := s.Rank(41); got != 0 {
+		t.Fatalf("Rank(41) = %d", got)
+	}
+}
+
+func TestRankMonotone(t *testing.T) {
+	s, _ := New(0.02)
+	feed(s, 50000, 8)
+	prev := uint64(0)
+	for y := -10.0; y < 50010; y += 487 {
+		got := s.Rank(y)
+		if got < prev {
+			t.Fatalf("rank decreased at %v: %d < %d", y, got, prev)
+		}
+		prev = got
+	}
+}

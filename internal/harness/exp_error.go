@@ -1,0 +1,223 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"req/internal/core"
+	"req/internal/exact"
+	"req/internal/quantile"
+	"req/internal/rng"
+	"req/internal/stats"
+	"req/internal/streams"
+	"req/internal/textplot"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E1",
+		Title:    "Relative rank error vs. rank (fixed ε, δ)",
+		PaperRef: "Theorem 1 / Theorem 14: |R̂(y) − R(y)| ≤ ε·R(y) w.p. 1−δ",
+		Run:      runE1,
+	})
+	register(Experiment{
+		ID:       "E5",
+		Title:    "Failure probability vs. δ",
+		PaperRef: "Theorem 14: Pr[|Err(y)| ≥ ε·R(y)] < 3δ",
+		Run:      runE5,
+	})
+	register(Experiment{
+		ID:       "E7",
+		Title:    "Arrival-order robustness",
+		PaperRef: "comparison-based guarantee (Sec. 2): error bound holds for every input order",
+		Run:      runE7,
+	})
+	register(Experiment{
+		ID:       "E12",
+		Title:    "Coin-flip ablation: deterministic parity biases the estimate",
+		PaperRef: "Observation 4: random even/odd choice makes compaction error zero-mean",
+		Run:      runE12,
+	})
+}
+
+func runE1(w io.Writer, cfg Config) error {
+	n := 1 << 19
+	trials := 24
+	if cfg.Quick {
+		n = 1 << 15
+		trials = 6
+	}
+	const eps, delta = 0.05, 0.05
+	fmt.Fprintf(w, "stream: random permutation of n=%d; ε=%.2f δ=%.2f; %d trials\n\n", n, eps, delta, trials)
+
+	ranks := LogRanks(uint64(n), 2)
+	prof := MeasureRankError(
+		quantile.REQFactory(core.Config{Eps: eps, Delta: delta}, "req"),
+		PermData(n), ranks, trials, cfg.Seed+1)
+
+	tab := NewTable("rank", "relerr_p50", "relerr_p95", "relerr_max", "within_eps")
+	violations := 0
+	for i, r := range prof.Ranks {
+		ok := "yes"
+		if prof.P95[i] > eps {
+			ok = "NO"
+			violations++
+		}
+		tab.AddRow(r, prof.P50[i], prof.P95[i], prof.Max[i], ok)
+	}
+	tab.Fprint(w)
+	fmt.Fprintf(w, "\nmean retained items: %.0f; ranks with p95 above ε: %d/%d\n",
+		prof.Items, violations, len(prof.Ranks))
+
+	epsLine := make([]float64, len(prof.Ranks))
+	xs := make([]float64, len(prof.Ranks))
+	for i, r := range prof.Ranks {
+		xs[i] = float64(r)
+		epsLine[i] = eps
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, textplot.Render([]textplot.Series{
+		{Name: "p95 rel err", X: xs, Y: prof.P95},
+		{Name: "ε", X: xs, Y: epsLine},
+	}, textplot.Options{
+		Title: "Figure E1: relative error vs rank (log-x)", LogX: true,
+		XLabel: "true rank", YLabel: "relative error", Height: 14,
+	}))
+	return nil
+}
+
+func runE5(w io.Writer, cfg Config) error {
+	n := 1 << 16
+	trials := 300
+	if cfg.Quick {
+		n = 1 << 13
+		trials = 60
+	}
+	const eps = 0.1
+	deltas := []float64{0.5, 0.25, 0.1}
+	fmt.Fprintf(w, "per-item guarantee check: n=%d, ε=%.2f, %d independent trials per δ\n", n, eps, trials)
+	fmt.Fprintf(w, "the theorem bounds each (item, trial) failure by 3δ; measured rates should sit far below\n\n")
+
+	ranks := LogRanks(uint64(n), 1)
+	tab := NewTable("delta", "rank_checked", "violations", "rate", "bound_3delta")
+	for _, delta := range deltas {
+		prof := profileViolations(cfg, eps, delta, n, trials, ranks)
+		total := trials * len(ranks)
+		rate := float64(prof) / float64(total)
+		tab.AddRow(delta, total, prof, rate, 3*delta)
+	}
+	tab.Fprint(w)
+	return nil
+}
+
+// profileViolations counts (rank, trial) pairs whose relative error
+// exceeded eps.
+func profileViolations(cfg Config, eps, delta float64, n, trials int, ranks []uint64) int {
+	master := rng.New(cfg.Seed + 5)
+	violations := 0
+	for trial := 0; trial < trials; trial++ {
+		seed := master.Uint64()
+		r := rng.New(seed)
+		sk, err := quantile.NewREQ(core.Config{Eps: eps, Delta: delta, Seed: seed}, "req")
+		if err != nil {
+			panic(err)
+		}
+		perm := r.Perm(n)
+		for _, v := range perm {
+			sk.Update(float64(v))
+		}
+		for _, rank := range ranks {
+			est := float64(sk.Rank(float64(rank - 1)))
+			if stats.RelErr(est, float64(rank)) > eps {
+				violations++
+			}
+		}
+	}
+	return violations
+}
+
+func runE7(w io.Writer, cfg Config) error {
+	n := 1 << 18
+	trials := 8
+	if cfg.Quick {
+		n = 1 << 14
+		trials = 3
+	}
+	const eps, delta = 0.05, 0.05
+	fmt.Fprintf(w, "n=%d, ε=%.2f, %d trials per order; worst p95 over log-spaced ranks\n\n", n, eps, trials)
+
+	tab := NewTable("order", "worst_p95", "worst_max", "within_eps")
+	for _, order := range streams.AllOrders {
+		order := order
+		data := func(_ int, r *rng.Source) []float64 {
+			vals := streams.Permutation{}.Generate(n, r)
+			streams.Arrange(vals, order, r)
+			return vals
+		}
+		prof := MeasureRankError(
+			quantile.REQFactory(core.Config{Eps: eps, Delta: delta}, "req"),
+			data, LogRanks(uint64(n), 2), trials, cfg.Seed+7)
+		ok := "yes"
+		if prof.WorstP95() > eps {
+			ok = "NO"
+		}
+		tab.AddRow(order.String(), prof.WorstP95(), prof.WorstMax(), ok)
+	}
+	tab.Fprint(w)
+	return nil
+}
+
+func runE12(w io.Writer, cfg Config) error {
+	n := 1 << 17
+	trials := 16
+	if cfg.Quick {
+		n = 1 << 14
+		trials = 4
+	}
+	const eps, delta = 0.05, 0.05
+	fmt.Fprintf(w, "sorted ascending input, n=%d, %d trials; mean signed relative error per rank\n", n, trials)
+	fmt.Fprintf(w, "fair coin should hover near zero; always-even parity drifts systematically\n\n")
+
+	sortedData := func(_ int, _ *rng.Source) []float64 {
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(i)
+		}
+		return vals
+	}
+	ranks := LogRanks(uint64(n), 1)
+	fair := MeasureRankError(
+		quantile.REQFactory(core.Config{Eps: eps, Delta: delta}, "req-fair"),
+		sortedData, ranks, trials, cfg.Seed+12)
+	det := MeasureRankError(
+		quantile.REQFactory(core.Config{Eps: eps, Delta: delta, DetCoin: true}, "req-detcoin"),
+		sortedData, ranks, trials, cfg.Seed+12)
+
+	tab := NewTable("rank", "fair_mean_signed", "det_mean_signed", "fair_abs_p95", "det_abs_p95")
+	for i, r := range ranks {
+		tab.AddRow(r, fair.MeanSigned[i], det.MeanSigned[i], fair.P95[i], det.P95[i])
+	}
+	tab.Fprint(w)
+
+	fairBias, detBias := meanAbs(fair.MeanSigned), meanAbs(det.MeanSigned)
+	fmt.Fprintf(w, "\nmean |bias| across ranks: fair coin %.5f vs deterministic parity %.5f\n", fairBias, detBias)
+	return nil
+}
+
+func meanAbs(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x < 0 {
+			x = -x
+		}
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// trueRankOracle builds an oracle for a data slice — shared helper for the
+// tail experiments.
+func trueRankOracle(vals []float64) *exact.Oracle { return exact.FromValues(vals) }

@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"req/internal/core"
+	"req/internal/quantile"
+	"req/internal/rng"
+	"req/internal/schedule"
+	"req/internal/streams"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "F1",
+		Title:    "Structural figures: relative-compactor layout and compaction schedule",
+		PaperRef: "Figures 1 and 2 of the paper (algorithm illustrations)",
+		Run:      runF1,
+	})
+}
+
+func runF1(w io.Writer, cfg Config) error {
+	n := 1 << 17
+	if cfg.Quick {
+		n = 1 << 14
+	}
+
+	// Figure 2 reproduction: which sections each compaction involves. The
+	// section involvement pattern is the ruler sequence z(C)+1.
+	fmt.Fprintf(w, "Figure 2 — compaction schedule: sections involved per compaction state C\n")
+	fmt.Fprintf(w, "(section 1 = largest items; '#' = compacted this round)\n\n")
+	const showStates = 16
+	const showSections = 5
+	fmt.Fprintf(w, "  C   binary  sections  ")
+	for j := showSections; j >= 1; j-- {
+		fmt.Fprintf(w, "s%d ", j)
+	}
+	fmt.Fprintln(w)
+	for c := 0; c < showStates; c++ {
+		st := schedule.State(c)
+		secs := st.Sections()
+		fmt.Fprintf(w, "  %-3d %06b  %-8d  ", c, c, secs)
+		for j := showSections; j >= 1; j-- {
+			if j <= secs {
+				fmt.Fprint(w, " # ")
+			} else {
+				fmt.Fprint(w, " . ")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+
+	// Figure 1 reproduction: a live sketch's buffer layout.
+	fmt.Fprintf(w, "\nFigure 1 — relative-compactor stack after a %d-item stream (ε=0.05):\n\n", n)
+	sk, err := quantile.NewREQ(core.Config{Eps: 0.05, Delta: 0.05, Seed: cfg.Seed}, "req")
+	if err != nil {
+		return err
+	}
+	r := rng.New(cfg.Seed)
+	FeedAll(sk, streams.Permutation{}.Generate(n, r))
+	for _, line := range strings.Split(sk.Core().DebugString(), "\n") {
+		fmt.Fprintf(w, "  %s\n", line)
+	}
+	return nil
+}

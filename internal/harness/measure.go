@@ -1,0 +1,137 @@
+package harness
+
+import (
+	"math"
+
+	"req/internal/exact"
+	"req/internal/quantile"
+	"req/internal/rng"
+	"req/internal/stats"
+)
+
+// LogRanks returns ranks spaced geometrically from 1 to n (inclusive),
+// perDecade points per factor of 10, deduplicated and ascending.
+func LogRanks(n uint64, perDecade int) []uint64 {
+	if n == 0 {
+		return nil
+	}
+	if perDecade < 1 {
+		perDecade = 1
+	}
+	step := math.Pow(10, 1/float64(perDecade))
+	out := []uint64{1}
+	x := 1.0
+	for {
+		x *= step
+		r := uint64(math.Round(x))
+		if r >= n {
+			break
+		}
+		if r > out[len(out)-1] {
+			out = append(out, r)
+		}
+	}
+	if out[len(out)-1] != n {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Profile holds per-rank error statistics aggregated over trials.
+type Profile struct {
+	Ranks []uint64
+	// P50, P95, Max are the quantiles of |R̂−R|/R per rank across trials.
+	P50, P95, Max []float64
+	// MeanSigned is the mean of (R̂−R)/R per rank (bias detector).
+	MeanSigned []float64
+	// Items is the mean retained-item footprint across trials.
+	Items float64
+}
+
+// WorstP95 returns the largest p95 relative error across ranks.
+func (p *Profile) WorstP95() float64 { return stats.MaxFloat(p.P95) }
+
+// WorstMax returns the largest max relative error across ranks.
+func (p *Profile) WorstMax() float64 { return stats.MaxFloat(p.Max) }
+
+// DataFunc produces the trial's stream. Implementations must be
+// deterministic in (trial, seed).
+type DataFunc func(trial int, r *rng.Source) []float64
+
+// PermData returns a DataFunc generating a fresh random permutation of
+// 0..n-1 per trial.
+func PermData(n int) DataFunc {
+	return func(_ int, r *rng.Source) []float64 {
+		out := make([]float64, n)
+		for i, v := range r.Perm(n) {
+			out[i] = float64(v)
+		}
+		return out
+	}
+}
+
+// MeasureRankError runs `trials` independent trials: generate the stream,
+// feed a fresh sketch, and compare estimated against true ranks at the
+// query ranks. Query points are the true items of each rank, obtained from
+// an exact oracle per trial.
+func MeasureRankError(f quantile.Factory, data DataFunc, queryRanks []uint64, trials int, seed uint64) Profile {
+	master := rng.New(seed)
+	perRank := make([][]float64, len(queryRanks))
+	signed := make([][]float64, len(queryRanks))
+	var items float64
+	for trial := 0; trial < trials; trial++ {
+		trialSeed := master.Uint64()
+		stream := data(trial, rng.New(trialSeed))
+		sk := f.New(trialSeed ^ 0x9e3779b97f4a7c15)
+		for _, v := range stream {
+			sk.Update(v)
+		}
+		oracle := exact.FromValues(stream)
+		for i, r := range queryRanks {
+			if r == 0 || r > oracle.N() {
+				continue
+			}
+			y := oracle.ItemOfRank(r)
+			truth := float64(oracle.Rank(y)) // ≥ r; handles duplicates
+			est := float64(sk.Rank(y))
+			perRank[i] = append(perRank[i], stats.RelErr(est, truth))
+			signed[i] = append(signed[i], stats.SignedRelErr(est, truth))
+		}
+		items += float64(sk.ItemsRetained())
+	}
+	p := Profile{Ranks: queryRanks, Items: items / float64(trials)}
+	for i := range queryRanks {
+		s := stats.Summarize(perRank[i])
+		p.P50 = append(p.P50, s.P50)
+		p.P95 = append(p.P95, s.P95)
+		p.Max = append(p.Max, s.Max)
+		mean, _ := stats.MeanStd(signed[i])
+		p.MeanSigned = append(p.MeanSigned, mean)
+	}
+	return p
+}
+
+// TailQueryRanks converts percentile labels (0.5, 0.99, …) to ranks in a
+// stream of length n, measured from the top: percentile q maps to rank
+// ⌈q·n⌉.
+func TailQueryRanks(n uint64, percentiles []float64) []uint64 {
+	out := make([]uint64, len(percentiles))
+	for i, q := range percentiles {
+		r := uint64(math.Ceil(q * float64(n)))
+		if r < 1 {
+			r = 1
+		}
+		if r > n {
+			r = n
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// FeedAll pushes every value into the sketch.
+func FeedAll(sk quantile.Sketch, vals []float64) {
+	for _, v := range vals {
+		sk.Update(v)
+	}
+}

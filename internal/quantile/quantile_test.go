@@ -1,0 +1,184 @@
+package quantile
+
+import (
+	"math"
+	"testing"
+
+	"req/internal/core"
+	"req/internal/rng"
+)
+
+// allFactories returns one factory per adapter, sized for eps=0.05.
+func allFactories() []Factory {
+	const eps = 0.05
+	return []Factory{
+		REQFactory(core.Config{Eps: eps, Delta: 0.05}, "req"),
+		REQFactory(core.Config{Eps: eps, Delta: 0.05, HRA: true}, "req-hra"),
+		KLLFactory(eps),
+		GKFactory(eps),
+		TDigestFactory(eps),
+		DDFactory(eps),
+		SamplerFactory(eps),
+		BQFactory(eps, 18, 0, 1<<17),
+	}
+}
+
+func TestAdaptersImplementInterface(t *testing.T) {
+	const n = 1 << 13
+	for _, f := range allFactories() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			sk := f.New(1)
+			if sk.Name() == "" {
+				t.Fatal("empty name")
+			}
+			r := rng.New(2)
+			for _, v := range r.Perm(n) {
+				sk.Update(float64(v))
+			}
+			if sk.N() != n {
+				t.Fatalf("N = %d, want %d", sk.N(), n)
+			}
+			if sk.ItemsRetained() <= 0 {
+				t.Fatal("no items retained")
+			}
+			if got := sk.Rank(float64(n)); got < n*9/10 {
+				t.Fatalf("Rank(max) = %d, far from n", got)
+			}
+			if got := sk.Rank(-1); got > n/100 {
+				t.Fatalf("Rank(below min) = %d", got)
+			}
+		})
+	}
+}
+
+func TestAdaptersQuantile(t *testing.T) {
+	const n = 1 << 13
+	for _, f := range allFactories() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			sk := f.New(3)
+			q, ok := sk.(Quantiler)
+			if !ok {
+				t.Skip("no quantile support")
+			}
+			r := rng.New(4)
+			for _, v := range r.Perm(n) {
+				sk.Update(float64(v))
+			}
+			med, err := q.Quantile(0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if med < n/4 || med > 3*n/4 {
+				t.Fatalf("median = %v for permutation of %d", med, n)
+			}
+		})
+	}
+}
+
+func TestAdapterAccuracyMidRank(t *testing.T) {
+	// Every adapter must estimate the median rank within 15% on a small
+	// permutation (weak bound — this is a wiring test, not a guarantee
+	// test; guarantee tests live with the respective packages).
+	const n = 1 << 14
+	for _, f := range allFactories() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			sk := f.New(5)
+			r := rng.New(6)
+			for _, v := range r.Perm(n) {
+				sk.Update(float64(v))
+			}
+			got := float64(sk.Rank(float64(n / 2)))
+			want := float64(n/2 + 1)
+			if math.Abs(got-want)/want > 0.15 {
+				t.Fatalf("median rank estimate %v, want ≈%v", got, want)
+			}
+		})
+	}
+}
+
+func TestREQAdapterSkipsNaN(t *testing.T) {
+	sk, err := NewREQ(core.Config{Eps: 0.1, Delta: 0.1}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk.Update(math.NaN())
+	sk.Update(1)
+	if sk.N() != 1 {
+		t.Fatalf("N = %d", sk.N())
+	}
+	if sk.Name() != "req" {
+		t.Fatalf("default label = %q", sk.Name())
+	}
+}
+
+func TestREQFactorySeedsDiffer(t *testing.T) {
+	f := REQFactory(core.Config{Eps: 0.05, Delta: 0.05}, "req")
+	a := f.New(1)
+	b := f.New(2)
+	r := rng.New(7)
+	for _, v := range r.Perm(1 << 15) {
+		a.Update(float64(v))
+		b.Update(float64(v))
+	}
+	same := true
+	for y := 0.0; y < 1<<15; y += 1000 {
+		if a.Rank(y) != b.Rank(y) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical estimates everywhere")
+	}
+}
+
+func TestExactAdapter(t *testing.T) {
+	e := NewExact(10)
+	for _, v := range []float64{3, 1, 2} {
+		e.Update(v)
+	}
+	if e.Rank(2) != 2 || e.N() != 3 || e.ItemsRetained() != 3 {
+		t.Fatal("exact adapter wiring broken")
+	}
+	q, err := e.Quantile(0.5)
+	if err != nil || q != 2 {
+		t.Fatalf("median = %v, %v", q, err)
+	}
+	if e.Oracle() == nil {
+		t.Fatal("oracle accessor nil")
+	}
+}
+
+func TestBQAdapterQuantizes(t *testing.T) {
+	bq, err := NewBQ(0.1, 10, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bq.Update(math.NaN()) // must not panic or count
+	for i := 0; i < 100; i++ {
+		bq.Update(float64(i))
+	}
+	if bq.N() != 100 {
+		t.Fatalf("N = %d", bq.N())
+	}
+	if got := bq.Rank(50); math.Abs(float64(got)-51) > 3 {
+		t.Fatalf("Rank(50) = %d", got)
+	}
+}
+
+func TestCoreAccessor(t *testing.T) {
+	r, err := NewREQ(core.Config{Eps: 0.1, Delta: 0.1}, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Core() == nil {
+		t.Fatal("Core() nil")
+	}
+	r.Update(1)
+	if r.Core().Count() != 1 {
+		t.Fatal("core not shared")
+	}
+}

@@ -1,0 +1,181 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// source used by the sketches in this repository.
+//
+// The REQ sketch needs randomness only to choose between the even- and
+// odd-indexed items of each compaction (one fair coin per compaction).
+// Reproducibility of experiments requires that this randomness be seedable
+// and that its full state be observable, so sketches can be serialized and
+// resumed deterministically. The standard library's math/rand (v1) sources
+// are not designed for state capture, so this package implements splitmix64,
+// a tiny, well-studied 64-bit generator with a single word of state.
+//
+// Splitmix64 reference: Steele, Lea, Flood, "Fast Splittable Pseudorandom
+// Number Generators", OOPSLA 2014. The constants below are the standard ones
+// used by the public-domain reference implementation.
+package rng
+
+import "math"
+
+// golden is 2^64 / phi, the splitmix64 state increment.
+const golden = 0x9e3779b97f4a7c15
+
+// Source is a deterministic pseudo-random source. The zero value is a valid
+// source seeded with 0. Source is not safe for concurrent use.
+type Source struct {
+	state uint64
+
+	// Coin-bit buffer: compactions consume single bits, so one Uint64 call
+	// yields 64 coins. bits holds unconsumed bits, nbits how many remain.
+	bits  uint64
+	nbits uint
+}
+
+// New returns a Source seeded with seed. Distinct seeds yield independent-
+// looking streams; the same seed always yields the same stream.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Seed resets the source to the deterministic stream for seed, discarding
+// any buffered coin bits.
+func (s *Source) Seed(seed uint64) {
+	s.state = seed
+	s.bits = 0
+	s.nbits = 0
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Source) Uint64() uint64 {
+	s.state += golden
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Coin returns a fair boolean coin flip. Bits are drawn from an internal
+// buffer so that 64 consecutive coins cost a single Uint64 evaluation.
+func (s *Source) Coin() bool {
+	if s.nbits == 0 {
+		s.bits = s.Uint64()
+		s.nbits = 64
+	}
+	b := s.bits&1 == 1
+	s.bits >>= 1
+	s.nbits--
+	return b
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal variate using the polar
+// (Marsaglia) method. It is used by workload generators only; it does not
+// need to be fast.
+func (s *Source) NormFloat64() float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q == 0 || q >= 1 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(q)/q)
+	}
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method for unbiased bounded values.
+	bound := uint64(n)
+	for {
+		x := s.Uint64()
+		hi, lo := mul64(x, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+func (s *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with zero n")
+	}
+	for {
+		x := s.Uint64()
+		hi, lo := mul64(x, n)
+		if lo >= n || lo >= (-n)%n {
+			return hi
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	mid := t&mask + aLo*bHi
+	hi = aHi*bHi + t>>32 + mid>>32
+	lo = a * b
+	return hi, lo
+}
+
+// Split derives a child source whose stream is independent-looking from the
+// parent's continued stream. Splitting advances the parent.
+func (s *Source) Split() *Source {
+	return New(s.Uint64() ^ golden)
+}
+
+// Perm returns a uniformly random permutation of [0, n) as a slice.
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	s.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts permutes p uniformly at random (Fisher–Yates).
+func (s *Source) ShuffleInts(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// ShuffleFloat64s permutes p uniformly at random (Fisher–Yates).
+func (s *Source) ShuffleFloat64s(p []float64) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// State captures the full generator state, including buffered coin bits, so
+// a sketch can be serialized and later resumed bit-for-bit.
+type State struct {
+	Word  uint64
+	Bits  uint64
+	NBits uint8
+}
+
+// State returns the current state of the source.
+func (s *Source) State() State {
+	return State{Word: s.state, Bits: s.bits, NBits: uint8(s.nbits)}
+}
+
+// Restore replaces the source's state with st.
+func (s *Source) Restore(st State) {
+	s.state = st.Word
+	s.bits = st.Bits
+	s.nbits = uint(st.NBits)
+}

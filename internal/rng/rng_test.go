@@ -1,0 +1,326 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedChangesStream(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams for different seeds agree on %d/64 draws", same)
+	}
+}
+
+func TestSeedResets(t *testing.T) {
+	s := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = s.Uint64()
+	}
+	s.Seed(7)
+	for i := range first {
+		if got := s.Uint64(); got != first[i] {
+			t.Fatalf("after reseed, draw %d = %d, want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Source
+	// Must not panic and must produce varying output.
+	x, y := s.Uint64(), s.Uint64()
+	if x == y {
+		t.Fatalf("zero-value source produced identical consecutive draws %d", x)
+	}
+}
+
+func TestCoinBalance(t *testing.T) {
+	s := New(99)
+	const n = 100000
+	heads := 0
+	for i := 0; i < n; i++ {
+		if s.Coin() {
+			heads++
+		}
+	}
+	// Binomial(n, 1/2): stddev = sqrt(n)/2 ≈ 158. Allow 6 sigma.
+	dev := math.Abs(float64(heads) - n/2)
+	if dev > 6*math.Sqrt(n)/2 {
+		t.Fatalf("coin heavily biased: %d heads of %d", heads, n)
+	}
+}
+
+func TestCoinBufferConsistentWithState(t *testing.T) {
+	s := New(5)
+	// Consume an odd number of coins so the buffer is mid-word.
+	for i := 0; i < 13; i++ {
+		s.Coin()
+	}
+	st := s.State()
+	rest := make([]bool, 200)
+	for i := range rest {
+		rest[i] = s.Coin()
+	}
+	var r Source
+	r.Restore(st)
+	for i := range rest {
+		if got := r.Coin(); got != rest[i] {
+			t.Fatalf("restored source diverged at coin %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(4)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := s.NormFloat64()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(8)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	s := New(21)
+	const buckets = 10
+	const n = 100000
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[s.Intn(buckets)]++
+	}
+	want := float64(n) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d deviates from %v", b, c, want)
+		}
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	s := New(31)
+	for _, n := range []uint64{1, 2, 5, 1 << 40} {
+		for i := 0; i < 500; i++ {
+			if v := s.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestMul64MatchesBigArithmetic(t *testing.T) {
+	f := func(a, b uint64) bool {
+		hi, lo := mul64(a, b)
+		// Verify via decomposition into 32-bit halves computed independently.
+		aLo, aHi := a&0xffffffff, a>>32
+		bLo, bHi := b&0xffffffff, b>>32
+		// lo 64 bits of product must equal a*b with wraparound.
+		if lo != a*b {
+			return false
+		}
+		// Recompute hi with full carries.
+		c := (aLo*bLo)>>32 + (aHi*bLo)&0xffffffff + (aLo*bHi)&0xffffffff
+		wantHi := aHi*bHi + (aHi*bLo)>>32 + (aLo*bHi)>>32 + c>>32
+		return hi == wantHi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(6)
+	child := parent.Split()
+	same := 0
+	for i := 0; i < 64; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("parent and child streams agree on %d/64 draws", same)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := New(6).Split()
+	b := New(6).Split()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("split children diverged at %d", i)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(17)
+	for _, n := range []int{0, 1, 2, 10, 1000} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) is not a permutation: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleFloat64sPreservesMultiset(t *testing.T) {
+	s := New(23)
+	orig := []float64{1, 2, 2, 3, 5, 8, 13}
+	got := append([]float64(nil), orig...)
+	s.ShuffleFloat64s(got)
+	sum := func(xs []float64) float64 {
+		t := 0.0
+		for _, x := range xs {
+			t += x
+		}
+		return t
+	}
+	if sum(got) != sum(orig) || len(got) != len(orig) {
+		t.Fatalf("shuffle changed contents: %v", got)
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	s := New(29)
+	const n = 5
+	const trials = 50000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[s.Perm(n)[0]]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Fatalf("first element %d appeared %d times, want ~%v", i, c, want)
+		}
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	s := New(101)
+	for i := 0; i < 37; i++ {
+		s.Coin()
+	}
+	st := s.State()
+	var r Source
+	r.Restore(st)
+	if r.State() != st {
+		t.Fatalf("state round trip mismatch: %+v vs %+v", r.State(), st)
+	}
+}
+
+func TestUint64NoShortCycles(t *testing.T) {
+	s := New(13)
+	seen := map[uint64]int{}
+	for i := 0; i < 100000; i++ {
+		v := s.Uint64()
+		if j, ok := seen[v]; ok {
+			t.Fatalf("value repeated at steps %d and %d", j, i)
+		}
+		seen[v] = i
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkCoin(b *testing.B) {
+	s := New(1)
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		sink = s.Coin()
+	}
+	_ = sink
+}

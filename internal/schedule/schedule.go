@@ -1,0 +1,102 @@
+// Package schedule implements the derandomized exponential compaction
+// schedule of the relative-compactor (Section 2.1 of the paper).
+//
+// The schedule is driven by a single counter, the compactor state C. Before
+// the (C+1)-st compaction the compactor inspects z(C), the number of trailing
+// ones in the binary representation of C, and compacts exactly
+//
+//	L_C = (z(C) + 1) · k
+//
+// items — that is, z(C)+1 sections of size k, counted from the top (largest
+// items) of the buffer. After the compaction, C increments. The first section
+// therefore participates in every compaction, the second in every other one,
+// the j-th in every 2^(j-1)-th: a geometric protection of lower-ranked items
+// that is the heart of the O(ε⁻¹·log^1.5(εn)) space bound.
+//
+// The crucial combinatorial property is Fact 5: between any two compactions
+// that involve exactly j sections there is at least one compaction involving
+// more than j sections. Lemma 6's charging argument depends on it, and the
+// property-based tests in this package verify it exhaustively over prefixes
+// of the schedule.
+//
+// For mergeability (Appendix D), two schedule states combine with bitwise OR
+// (Facts 18 and 19): OR preserves 1-bits, so the "section j+1 is full of
+// important items" invariant survives merging, and OR never exceeds the sum,
+// so state values remain bounded by the number of compactions ever performed.
+package schedule
+
+import "math/bits"
+
+// State is the compaction-schedule state of one relative-compactor. In a
+// single stream it equals the number of compactions performed; after merges
+// it is the bitwise OR of the constituent histories (plus any compactions
+// performed since).
+type State uint64
+
+// TrailingOnes returns z(s): the number of trailing one bits.
+func (s State) TrailingOnes() int {
+	return bits.TrailingZeros64(^uint64(s))
+}
+
+// Sections returns the number of size-k sections the next compaction must
+// involve: z(s) + 1.
+func (s State) Sections() int {
+	return s.TrailingOnes() + 1
+}
+
+// Next returns the state after one compaction.
+func (s State) Next() State {
+	return s + 1
+}
+
+// Combine merges two schedule states per Algorithm 3 line 16: bitwise OR.
+func Combine(a, b State) State {
+	return a | b
+}
+
+// Kind selects the schedule policy. The paper's algorithm uses the
+// exponential schedule; the naive schedule (always compact half the buffer)
+// is retained as the ablation the paper discusses in Section 2.1: with it,
+// achieving relative error requires k ≈ 1/ε² instead of k ≈ 1/ε.
+type Kind uint8
+
+const (
+	// Exponential is the paper's derandomized exponential schedule.
+	Exponential Kind = iota
+	// Naive always compacts the maximum number of sections (L = B/2).
+	Naive
+)
+
+// String returns the name of the schedule kind.
+func (k Kind) String() string {
+	switch k {
+	case Exponential:
+		return "exponential"
+	case Naive:
+		return "naive"
+	default:
+		return "unknown"
+	}
+}
+
+// SectionsFor returns how many sections a compaction must involve under
+// schedule kind k in state s, for a compactor whose compactible half holds
+// numSections sections. The result is clamped to numSections: the analysis
+// (Observation 20) shows the clamp never binds for the exponential schedule
+// in a single stream, but merged sketches recompute geometry and the clamp
+// keeps the implementation safe under all parameter changes.
+func SectionsFor(k Kind, s State, numSections int) int {
+	if numSections < 1 {
+		numSections = 1
+	}
+	switch k {
+	case Naive:
+		return numSections
+	default:
+		n := s.Sections()
+		if n > numSections {
+			n = numSections
+		}
+		return n
+	}
+}

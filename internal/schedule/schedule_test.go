@@ -1,0 +1,228 @@
+package schedule
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+// naiveTrailingOnes counts trailing ones by looping over bits, as an
+// independent reference for the bit-twiddled implementation.
+func naiveTrailingOnes(x uint64) int {
+	n := 0
+	for x&1 == 1 {
+		n++
+		x >>= 1
+	}
+	return n
+}
+
+func TestTrailingOnesSmall(t *testing.T) {
+	cases := []struct {
+		s    State
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 0}, {3, 2}, {4, 0}, {5, 1}, {6, 0}, {7, 3},
+		{8, 0}, {11, 2}, {15, 4}, {16, 0}, {23, 3}, {31, 5}, {0xFFFF, 16},
+	}
+	for _, c := range cases {
+		if got := c.s.TrailingOnes(); got != c.want {
+			t.Errorf("TrailingOnes(%d) = %d, want %d", c.s, got, c.want)
+		}
+	}
+}
+
+func TestTrailingOnesAllOnes(t *testing.T) {
+	if got := State(^uint64(0)).TrailingOnes(); got != 64 {
+		t.Fatalf("TrailingOnes(all ones) = %d, want 64", got)
+	}
+}
+
+func TestTrailingOnesMatchesNaive(t *testing.T) {
+	f := func(x uint64) bool {
+		return State(x).TrailingOnes() == naiveTrailingOnes(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSectionsIsTrailingOnesPlusOne(t *testing.T) {
+	for s := State(0); s < 4096; s++ {
+		if s.Sections() != s.TrailingOnes()+1 {
+			t.Fatalf("Sections(%d) = %d, want %d", s, s.Sections(), s.TrailingOnes()+1)
+		}
+	}
+}
+
+// TestFact5 verifies the paper's Fact 5 exhaustively over a long prefix of
+// the schedule: between any two compactions that involve exactly j sections
+// there is at least one compaction involving strictly more than j sections.
+func TestFact5(t *testing.T) {
+	const horizon = 1 << 14
+	// lastJ[j] = index of the most recent compaction with exactly j+1
+	// sections; between two equal-j compactions we must have seen a larger
+	// one. Track the largest section count seen since each lastJ.
+	type rec struct {
+		seen      bool
+		maxJSince int
+	}
+	var last [64]rec
+	for c := 0; c < horizon; c++ {
+		j := State(c).Sections()
+		if last[j].seen && last[j].maxJSince <= j {
+			t.Fatalf("Fact 5 violated at state %d: two compactions with %d sections and none larger between", c, j)
+		}
+		// Record this compaction and update "max since" trackers.
+		last[j] = rec{seen: true, maxJSince: 0}
+		for k := range last {
+			if last[k].seen && j > last[k].maxJSince && k != j {
+				last[k].maxJSince = j
+			}
+		}
+	}
+}
+
+// TestSectionFrequency verifies the schedule's defining frequency: section j
+// (1-indexed) is involved in exactly every 2^(j-1)-th compaction. Over the
+// first 2^m compactions, the number of compactions involving at least j
+// sections must be 2^m / 2^(j-1).
+func TestSectionFrequency(t *testing.T) {
+	const m = 12
+	const total = 1 << m
+	counts := make([]int, 16)
+	for c := 0; c < total; c++ {
+		secs := State(c).Sections()
+		for j := 1; j <= secs && j < len(counts); j++ {
+			counts[j]++
+		}
+	}
+	for j := 1; j <= m; j++ {
+		want := total >> (j - 1)
+		if counts[j] != want {
+			t.Errorf("section %d involved in %d compactions over %d, want %d", j, counts[j], total, want)
+		}
+	}
+}
+
+// TestStateBoundObservation20 verifies the schedule analogue of
+// Observation 20: after C compactions the state value is exactly C in the
+// streaming case, so z(C) < ceil(log2(C+2)) + 1 always holds, meaning a
+// compactor that has discarded at least k items per compaction can never be
+// asked for more than ~log2(n/k) sections.
+func TestStateBoundObservation20(t *testing.T) {
+	for c := uint64(0); c < 1<<16; c++ {
+		z := State(c).TrailingOnes()
+		if c > 0 && z > bits.Len64(c) {
+			t.Fatalf("state %d has %d trailing ones > bit length %d", c, z, bits.Len64(c))
+		}
+	}
+}
+
+func TestNext(t *testing.T) {
+	s := State(0)
+	for i := 1; i <= 100; i++ {
+		s = s.Next()
+		if uint64(s) != uint64(i) {
+			t.Fatalf("Next chain diverged: got %d want %d", s, i)
+		}
+	}
+}
+
+func TestCombineFact18(t *testing.T) {
+	// Fact 18: every 1-bit of either operand is set in the combination.
+	f := func(a, b uint64) bool {
+		c := Combine(State(a), State(b))
+		return uint64(c)&a == a && uint64(c)&b == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCombineFact19(t *testing.T) {
+	// Fact 19: OR(a,b) <= a + b (as integers), so combined states remain
+	// bounded by the total number of compactions performed.
+	f := func(a, b uint64) bool {
+		// Avoid overflow in the reference sum.
+		a >>= 1
+		b >>= 1
+		return uint64(Combine(State(a), State(b))) <= a+b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCombineCommutativeAssociative(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		x, y, z := State(a), State(b), State(c)
+		if Combine(x, y) != Combine(y, x) {
+			return false
+		}
+		return Combine(Combine(x, y), z) == Combine(x, Combine(y, z))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCombineIdentityAndIdempotence(t *testing.T) {
+	f := func(a uint64) bool {
+		s := State(a)
+		return Combine(s, 0) == s && Combine(s, s) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSectionsForExponentialClamps(t *testing.T) {
+	// State 2^40-1 has 40 trailing ones; with only 5 sections available the
+	// result must clamp to 5.
+	s := State(1<<40 - 1)
+	if got := SectionsFor(Exponential, s, 5); got != 5 {
+		t.Fatalf("SectionsFor clamp = %d, want 5", got)
+	}
+	if got := SectionsFor(Exponential, 0, 5); got != 1 {
+		t.Fatalf("SectionsFor(0) = %d, want 1", got)
+	}
+}
+
+func TestSectionsForNaive(t *testing.T) {
+	for c := State(0); c < 64; c++ {
+		if got := SectionsFor(Naive, c, 7); got != 7 {
+			t.Fatalf("naive schedule returned %d sections, want all 7", got)
+		}
+	}
+}
+
+func TestSectionsForDegenerate(t *testing.T) {
+	if got := SectionsFor(Exponential, 3, 0); got != 1 {
+		t.Fatalf("SectionsFor with 0 sections = %d, want clamp to 1", got)
+	}
+	if got := SectionsFor(Naive, 3, -2); got != 1 {
+		t.Fatalf("SectionsFor naive with negative sections = %d, want 1", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Exponential.String() != "exponential" || Naive.String() != "naive" {
+		t.Fatal("Kind.String mismatch")
+	}
+	if Kind(99).String() != "unknown" {
+		t.Fatal("unknown kind should stringify to unknown")
+	}
+}
+
+// TestScheduleMatchesPaperExample walks the first 16 states and compares the
+// section counts with the sequence implied by Figure 2's description:
+// 1,2,1,3,1,2,1,4,1,2,1,3,1,2,1,5 (the ruler sequence + 1).
+func TestScheduleMatchesPaperExample(t *testing.T) {
+	want := []int{1, 2, 1, 3, 1, 2, 1, 4, 1, 2, 1, 3, 1, 2, 1, 5}
+	for i, w := range want {
+		if got := State(i).Sections(); got != w {
+			t.Fatalf("state %d: sections = %d, want %d", i, got, w)
+		}
+	}
+}

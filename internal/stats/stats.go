@@ -1,0 +1,198 @@
+// Package stats provides the small statistics toolkit the experiment
+// harness uses to summarise error samples and check scaling claims.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds order statistics and moments of a sample.
+type Summary struct {
+	Count              int
+	Mean, Std          float64
+	Min, Max           float64
+	P50, P90, P95, P99 float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mean, std := MeanStd(sorted)
+	return Summary{
+		Count: len(sorted),
+		Mean:  mean,
+		Std:   std,
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+		P50:   Percentile(sorted, 0.50),
+		P90:   Percentile(sorted, 0.90),
+		P95:   Percentile(sorted, 0.95),
+		P99:   Percentile(sorted, 0.99),
+	}
+}
+
+// Percentile returns the p-th percentile (p ∈ [0, 1]) of an ascending-sorted
+// sample using the nearest-rank definition.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// MeanStd returns the sample mean and (population) standard deviation.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)))
+}
+
+// Welford accumulates mean and variance in one pass without storing the
+// sample (used for long error sweeps).
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Std returns the running population standard deviation.
+func (w *Welford) Std() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n))
+}
+
+// Min returns the smallest observation (0 if none).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 if none).
+func (w *Welford) Max() float64 { return w.max }
+
+// FitPowerLaw fits y = c·x^e by least squares on (log x, log y) and returns
+// the exponent e and coefficient c. Pairs with non-positive coordinates are
+// skipped. It needs at least two usable points; otherwise it returns NaNs.
+//
+// The harness uses it to verify space-scaling claims: for the REQ sketch,
+// retained items vs. log(εn) should fit exponent ≈ 1.5 (Theorem 1), and
+// retained items vs. 1/ε should fit exponent ≈ 1.
+func FitPowerLaw(xs, ys []float64) (exponent, coeff float64) {
+	var sx, sy, sxx, sxy float64
+	n := 0
+	for i := range xs {
+		if i >= len(ys) || xs[i] <= 0 || ys[i] <= 0 {
+			continue
+		}
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+		n++
+	}
+	if n < 2 {
+		return math.NaN(), math.NaN()
+	}
+	fn := float64(n)
+	den := fn*sxx - sx*sx
+	if math.Abs(den) <= 1e-12*(math.Abs(fn*sxx)+sx*sx) {
+		return math.NaN(), math.NaN()
+	}
+	exponent = (fn*sxy - sx*sy) / den
+	coeff = math.Exp((sy - exponent*sx) / fn)
+	return exponent, coeff
+}
+
+// RelErr returns |est − truth| / truth; truth must be positive.
+func RelErr(est, truth float64) float64 {
+	return math.Abs(est-truth) / truth
+}
+
+// SignedRelErr returns (est − truth) / truth; truth must be positive.
+func SignedRelErr(est, truth float64) float64 {
+	return (est - truth) / truth
+}
+
+// MaxFloat returns the maximum of xs (NaN for empty).
+func MaxFloat(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// GeoMean returns the geometric mean of positive xs (NaN if any x ≤ 0 or
+// the sample is empty).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}

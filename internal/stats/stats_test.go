@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"req/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 {
+		t.Fatal("empty summary count")
+	}
+}
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.Count != 5 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if !almostEq(s.Mean, 3, 1e-12) {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if s.P50 != 3 {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Summarize mutated input")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {0.1, 10}, {0.5, 50}, {0.9, 90}, {0.91, 100}, {1, 100},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Fatal("empty percentile not NaN")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEq(mean, 5, 1e-12) || !almostEq(std, 2, 1e-12) {
+		t.Fatalf("mean=%v std=%v, want 5, 2", mean, std)
+	}
+	m0, s0 := MeanStd(nil)
+	if m0 != 0 || s0 != 0 {
+		t.Fatal("empty MeanStd not zero")
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	r := rng.New(1)
+	xs := make([]float64, 10000)
+	var w Welford
+	for i := range xs {
+		xs[i] = r.NormFloat64()*3 + 7
+		w.Add(xs[i])
+	}
+	mean, std := MeanStd(xs)
+	if !almostEq(w.Mean(), mean, 1e-9) {
+		t.Fatalf("welford mean %v vs %v", w.Mean(), mean)
+	}
+	if !almostEq(w.Std(), std, 1e-9) {
+		t.Fatalf("welford std %v vs %v", w.Std(), std)
+	}
+	if w.N() != len(xs) {
+		t.Fatal("welford count")
+	}
+	mn, mx := xs[0], xs[0]
+	for _, x := range xs {
+		mn = math.Min(mn, x)
+		mx = math.Max(mx, x)
+	}
+	if w.Min() != mn || w.Max() != mx {
+		t.Fatal("welford min/max")
+	}
+}
+
+func TestWelfordSmall(t *testing.T) {
+	var w Welford
+	if w.Std() != 0 {
+		t.Fatal("std of empty not 0")
+	}
+	w.Add(5)
+	if w.Mean() != 5 || w.Std() != 0 || w.Min() != 5 || w.Max() != 5 {
+		t.Fatal("single-observation welford wrong")
+	}
+}
+
+func TestFitPowerLawExact(t *testing.T) {
+	// y = 3·x^2.5 exactly.
+	xs := []float64{1, 2, 4, 8, 16, 32}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Pow(x, 2.5)
+	}
+	e, c := FitPowerLaw(xs, ys)
+	if !almostEq(e, 2.5, 1e-9) || !almostEq(c, 3, 1e-9) {
+		t.Fatalf("fit = (%v, %v), want (2.5, 3)", e, c)
+	}
+}
+
+func TestFitPowerLawNoisy(t *testing.T) {
+	r := rng.New(2)
+	xs := make([]float64, 50)
+	ys := make([]float64, 50)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+		ys[i] = 7 * math.Pow(xs[i], 1.5) * math.Exp(0.05*r.NormFloat64())
+	}
+	e, _ := FitPowerLaw(xs, ys)
+	if !almostEq(e, 1.5, 0.1) {
+		t.Fatalf("noisy fit exponent = %v, want ≈1.5", e)
+	}
+}
+
+func TestFitPowerLawDegenerate(t *testing.T) {
+	e, c := FitPowerLaw([]float64{1}, []float64{1})
+	if !math.IsNaN(e) || !math.IsNaN(c) {
+		t.Fatal("single point fit should be NaN")
+	}
+	e, _ = FitPowerLaw([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if !math.IsNaN(e) {
+		t.Fatal("zero-variance x fit should be NaN")
+	}
+	e, _ = FitPowerLaw([]float64{-1, 0, 3, 6}, []float64{1, 1, 27, 216})
+	if math.IsNaN(e) {
+		t.Fatal("fit should skip non-positive points and still work")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if RelErr(110, 100) != 0.1 {
+		t.Fatal("RelErr wrong")
+	}
+	if RelErr(90, 100) != 0.1 {
+		t.Fatal("RelErr not absolute")
+	}
+	if SignedRelErr(90, 100) != -0.1 {
+		t.Fatal("SignedRelErr wrong")
+	}
+}
+
+func TestMaxFloat(t *testing.T) {
+	if MaxFloat([]float64{3, 9, 1}) != 9 {
+		t.Fatal("MaxFloat wrong")
+	}
+	if !math.IsNaN(MaxFloat(nil)) {
+		t.Fatal("MaxFloat empty not NaN")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if !almostEq(GeoMean([]float64{1, 100}), 10, 1e-9) {
+		t.Fatal("GeoMean wrong")
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Fatal("GeoMean with negative should be NaN")
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Fatal("GeoMean empty should be NaN")
+	}
+}

@@ -1,0 +1,147 @@
+package streams
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"req/internal/rng"
+)
+
+// LowerBound implements the stream construction of Appendix A (Theorem 15):
+// an ε-accurate all-quantiles sketch of this stream losslessly encodes an
+// arbitrary subset S of the universe, which forces the
+// Ω(ε⁻¹·log(εn)·log(ε|U|)) bits lower bound.
+//
+// The construction: let ℓ = 1/(8ε) and k = number of phases. Pick a subset
+// S = {y₁ < y₂ < … < y_s} of the universe with s = ℓ·k. The stream contains
+// each "phase i" item y_{iℓ+1}, …, y_{(i+1)ℓ} exactly 2^i times, for
+// i = 0, …, k−1. Any rank sketch with multiplicative error ε then recovers
+// S exactly: the error on a phase-i item is below 2^{i−1}, half the gap the
+// encoding leaves between consecutive items.
+//
+// The harness uses the construction both as a decode test (experiment E13)
+// and as an adversarial duplication-heavy workload.
+type LowerBound struct {
+	// Eps is the error the construction defends against; ℓ = ⌈1/(8ε)⌉.
+	Eps float64
+	// Ell is the per-phase item count ℓ.
+	Ell int
+	// Phases is k, the number of phases.
+	Phases int
+	// Universe is the universe size |U|; items are 0, …, Universe−1.
+	Universe int
+	// S holds the encoded subset, ascending. len(S) = Ell·Phases.
+	S []int
+}
+
+// NewLowerBound draws a random subset of the given universe and returns the
+// construction for it. Universe must be at least ℓ·phases.
+func NewLowerBound(eps float64, phases, universe int, r *rng.Source) (*LowerBound, error) {
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("streams: eps %v out of range", eps)
+	}
+	if phases < 1 {
+		return nil, errors.New("streams: need at least one phase")
+	}
+	ell := int(math.Ceil(1 / (8 * eps)))
+	s := ell * phases
+	if universe < s {
+		return nil, fmt.Errorf("streams: universe %d smaller than subset size %d", universe, s)
+	}
+	// Sample s distinct universe items via partial Fisher–Yates on indices.
+	perm := r.Perm(universe)
+	subset := perm[:s]
+	// Sort ascending (int sort).
+	sortInts(subset)
+	return &LowerBound{Eps: eps, Ell: ell, Phases: phases, Universe: universe, S: subset}, nil
+}
+
+// Len returns the stream length: ℓ·(2^k − 1).
+func (lb *LowerBound) Len() int {
+	return lb.Ell * ((1 << uint(lb.Phases)) - 1)
+}
+
+// Values materialises the stream: phase-i items repeated 2^i times. The
+// order is phase-major; callers may Arrange it further (the guarantee must
+// hold for any order).
+func (lb *LowerBound) Values() []float64 {
+	out := make([]float64, 0, lb.Len())
+	for i := 0; i < lb.Phases; i++ {
+		reps := 1 << uint(i)
+		for j := 0; j < lb.Ell; j++ {
+			item := float64(lb.S[i*lb.Ell+j])
+			for t := 0; t < reps; t++ {
+				out = append(out, item)
+			}
+		}
+	}
+	return out
+}
+
+// Decode recovers the encoded subset from a rank oracle (exact or estimated
+// with multiplicative error < ε). It returns the decoded subset, ascending.
+//
+// Per the proof of Theorem 15, item y_{iℓ+j} (1-based j) is the smallest
+// universe item whose estimated inclusive rank strictly exceeds
+// (2^i − 1)·ℓ + 2^i·j − 2^{i−1}.
+func (lb *LowerBound) Decode(rank func(float64) uint64) []int {
+	out := make([]int, 0, len(lb.S))
+	for i := 0; i < lb.Phases; i++ {
+		base := float64(int(1)<<uint(i)-1) * float64(lb.Ell)
+		weight := float64(int(1) << uint(i))
+		half := weight / 2
+		for j := 1; j <= lb.Ell; j++ {
+			threshold := base + weight*float64(j) - half
+			// The universe is ordered, and rank() is monotone, so binary
+			// search for the smallest u with rank(u) > threshold.
+			lo, hi := 0, lb.Universe-1
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if float64(rank(float64(mid))) > threshold {
+					hi = mid
+				} else {
+					lo = mid + 1
+				}
+			}
+			out = append(out, lo)
+		}
+	}
+	return out
+}
+
+// OptimalCoresetSize returns the size of the offline-optimal relative-error
+// summary described below Theorem 15: all items of rank ≤ 2ℓ, every other
+// item of rank in (2ℓ, 4ℓ], every fourth in (4ℓ, 8ℓ], and so on — a total of
+// Θ(ε⁻¹·log(εn)) items for a stream of length n.
+func OptimalCoresetSize(eps float64, n uint64) int {
+	if n == 0 {
+		return 0
+	}
+	ell := uint64(math.Ceil(1 / eps))
+	total := uint64(0)
+	lo := uint64(0)
+	step := uint64(1)
+	for lo < n {
+		hi := 2 * ell * step
+		if hi > n {
+			hi = n
+		}
+		total += (hi - lo + step - 1) / step
+		lo = hi
+		step *= 2
+	}
+	return int(total)
+}
+
+func sortInts(xs []int) {
+	// Insertion into place for small inputs, shell-style gap sort otherwise;
+	// subsets are at most a few thousand items.
+	for gap := len(xs) / 2; gap > 0; gap /= 2 {
+		for i := gap; i < len(xs); i++ {
+			for j := i; j >= gap && xs[j] < xs[j-gap]; j -= gap {
+				xs[j], xs[j-gap] = xs[j-gap], xs[j]
+			}
+		}
+	}
+}

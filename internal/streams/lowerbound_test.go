@@ -1,0 +1,152 @@
+package streams
+
+import (
+	"testing"
+
+	"req/internal/exact"
+	"req/internal/rng"
+)
+
+func TestNewLowerBoundValidation(t *testing.T) {
+	r := rng.New(1)
+	if _, err := NewLowerBound(0, 3, 1000, r); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := NewLowerBound(0.1, 0, 1000, r); err == nil {
+		t.Fatal("0 phases accepted")
+	}
+	if _, err := NewLowerBound(0.01, 10, 10, r); err == nil {
+		t.Fatal("tiny universe accepted")
+	}
+}
+
+func TestLowerBoundShape(t *testing.T) {
+	r := rng.New(2)
+	lb, err := NewLowerBound(0.05, 4, 100000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb.Ell != 3 { // ceil(1/(8·0.05)) = ceil(2.5) = 3
+		t.Fatalf("ell = %d, want 3", lb.Ell)
+	}
+	if len(lb.S) != lb.Ell*lb.Phases {
+		t.Fatalf("subset size %d, want %d", len(lb.S), lb.Ell*lb.Phases)
+	}
+	for i := 1; i < len(lb.S); i++ {
+		if lb.S[i] <= lb.S[i-1] {
+			t.Fatal("subset not strictly ascending")
+		}
+	}
+	vals := lb.Values()
+	if len(vals) != lb.Len() {
+		t.Fatalf("stream length %d, want %d", len(vals), lb.Len())
+	}
+	want := lb.Ell * ((1 << uint(lb.Phases)) - 1)
+	if lb.Len() != want {
+		t.Fatalf("Len() = %d, want %d", lb.Len(), want)
+	}
+}
+
+func TestLowerBoundPhaseMultiplicities(t *testing.T) {
+	r := rng.New(3)
+	lb, err := NewLowerBound(0.05, 3, 10000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[float64]int{}
+	for _, v := range lb.Values() {
+		counts[v]++
+	}
+	for i := 0; i < lb.Phases; i++ {
+		for j := 0; j < lb.Ell; j++ {
+			item := float64(lb.S[i*lb.Ell+j])
+			if counts[item] != 1<<uint(i) {
+				t.Fatalf("phase %d item %v appears %d times, want %d", i, item, counts[item], 1<<uint(i))
+			}
+		}
+	}
+}
+
+func TestLowerBoundDecodeFromExactRanks(t *testing.T) {
+	// Decoding from exact ranks must recover the subset perfectly — this
+	// validates the threshold arithmetic of the Theorem 15 proof.
+	r := rng.New(4)
+	lb, err := NewLowerBound(0.02, 6, 1<<16, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := exact.FromValues(lb.Values())
+	decoded := lb.Decode(oracle.Rank)
+	if len(decoded) != len(lb.S) {
+		t.Fatalf("decoded %d items, want %d", len(decoded), len(lb.S))
+	}
+	for i := range decoded {
+		if decoded[i] != lb.S[i] {
+			t.Fatalf("decode mismatch at %d: got %d want %d", i, decoded[i], lb.S[i])
+		}
+	}
+}
+
+func TestLowerBoundDecodeToleratesEpsError(t *testing.T) {
+	// Perturb exact ranks by just under the multiplicative tolerance the
+	// construction is designed for; decode must still succeed.
+	r := rng.New(5)
+	lb, err := NewLowerBound(0.02, 5, 1<<16, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := exact.FromValues(lb.Values())
+	noise := rng.New(99)
+	perturbed := func(y float64) uint64 {
+		true_ := float64(oracle.Rank(y))
+		// multiplicative perturbation within ±ε/2.
+		f := 1 + (noise.Float64()-0.5)*lb.Eps
+		v := true_ * f
+		if v < 0 {
+			v = 0
+		}
+		return uint64(v + 0.5)
+	}
+	decoded := lb.Decode(perturbed)
+	for i := range decoded {
+		if decoded[i] != lb.S[i] {
+			t.Fatalf("decode with ε-noise failed at %d: got %d want %d", i, decoded[i], lb.S[i])
+		}
+	}
+}
+
+func TestOptimalCoresetSize(t *testing.T) {
+	// Θ(ε⁻¹·log(εn)): doubling n adds ≈ 1/ε items; halving ε doubles size.
+	s1 := OptimalCoresetSize(0.01, 1<<20)
+	s2 := OptimalCoresetSize(0.01, 1<<21)
+	if s2 <= s1 {
+		t.Fatalf("coreset size not increasing in n: %d vs %d", s1, s2)
+	}
+	growth := s2 - s1
+	if growth < 50 || growth > 400 { // ≈ 1/ε = 100 with rounding slack
+		t.Fatalf("per-doubling growth = %d, want ≈ 1/ε = 100", growth)
+	}
+	s3 := OptimalCoresetSize(0.005, 1<<20)
+	ratio := float64(s3) / float64(s1)
+	if ratio < 1.5 || ratio > 3 {
+		t.Fatalf("size ratio for eps halved = %v, want ≈ 2", ratio)
+	}
+	if OptimalCoresetSize(0.01, 0) != 0 {
+		t.Fatal("empty stream coreset not 0")
+	}
+}
+
+func TestLowerBoundStreamAsWorkload(t *testing.T) {
+	// The stream must be usable as a generic workload: finite values, right
+	// multiset size after shuffling.
+	r := rng.New(6)
+	lb, err := NewLowerBound(0.05, 5, 1<<14, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := lb.Values()
+	Arrange(vals, OrderShuffled, r)
+	if len(vals) != lb.Len() {
+		t.Fatal("shuffle changed length")
+	}
+}

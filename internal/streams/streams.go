@@ -1,0 +1,392 @@
+// Package streams provides the synthetic workload generators used by the
+// test suite and the experiment harness.
+//
+// The paper's motivating application (Section 1) is monitoring long-tailed
+// network latencies, where accuracy is needed at extreme ranks. Production
+// traces are not available offline, so the Latency generator synthesises the
+// relevant property — a heavy upper tail — from a log-normal body with a
+// Pareto tail (the standard model for web response times; Masson et al.
+// report 98.5th ≈ 2s vs 99.5th ≈ 20s, a shape this mixture reproduces).
+//
+// All generators are deterministic given a seed, so experiments are
+// reproducible bit-for-bit.
+package streams
+
+import (
+	"fmt"
+	"math"
+
+	"req/internal/rng"
+)
+
+// Generator produces a workload of n float64 values.
+type Generator interface {
+	// Name identifies the generator in tables and plots.
+	Name() string
+	// Generate returns n values drawn using r.
+	Generate(n int, r *rng.Source) []float64
+}
+
+// Uniform draws values uniformly from [Lo, Hi).
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// Name implements Generator.
+func (u Uniform) Name() string { return fmt.Sprintf("uniform[%g,%g)", u.Lo, u.Hi) }
+
+// Generate implements Generator.
+func (u Uniform) Generate(n int, r *rng.Source) []float64 {
+	out := make([]float64, n)
+	span := u.Hi - u.Lo
+	for i := range out {
+		out[i] = u.Lo + span*r.Float64()
+	}
+	return out
+}
+
+// Permutation produces a uniformly random permutation of 0, 1, …, n−1.
+// Because all values are distinct with known ranks (rank of v is v+1), it is
+// the workhorse for accuracy measurements.
+type Permutation struct{}
+
+// Name implements Generator.
+func (Permutation) Name() string { return "permutation" }
+
+// Generate implements Generator.
+func (Permutation) Generate(n int, r *rng.Source) []float64 {
+	out := make([]float64, n)
+	for i, v := range r.Perm(n) {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// Normal draws from a Gaussian with the given mean and standard deviation.
+type Normal struct {
+	Mu, Sigma float64
+}
+
+// Name implements Generator.
+func (g Normal) Name() string { return fmt.Sprintf("normal(%g,%g)", g.Mu, g.Sigma) }
+
+// Generate implements Generator.
+func (g Normal) Generate(n int, r *rng.Source) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = g.Mu + g.Sigma*r.NormFloat64()
+	}
+	return out
+}
+
+// LogNormal draws exp(N(Mu, Sigma²)): a right-skewed positive distribution.
+type LogNormal struct {
+	Mu, Sigma float64
+}
+
+// Name implements Generator.
+func (g LogNormal) Name() string { return fmt.Sprintf("lognormal(%g,%g)", g.Mu, g.Sigma) }
+
+// Generate implements Generator.
+func (g LogNormal) Generate(n int, r *rng.Source) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Exp(g.Mu + g.Sigma*r.NormFloat64())
+	}
+	return out
+}
+
+// Pareto draws from a Pareto distribution with scale Xm and shape Alpha:
+// P(X > x) = (Xm/x)^Alpha for x ≥ Xm. Alpha ≤ 1 has infinite mean.
+type Pareto struct {
+	Xm, Alpha float64
+}
+
+// Name implements Generator.
+func (g Pareto) Name() string { return fmt.Sprintf("pareto(%g,%g)", g.Xm, g.Alpha) }
+
+// Generate implements Generator.
+func (g Pareto) Generate(n int, r *rng.Source) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		u := r.Float64()
+		if u == 0 {
+			u = 0.5 / (1 << 53)
+		}
+		out[i] = g.Xm / math.Pow(u, 1/g.Alpha)
+	}
+	return out
+}
+
+// Latency models web-service response times in milliseconds: a log-normal
+// body (median ≈ 50 ms) mixed with a Pareto tail (TailFrac of requests,
+// ≥ 250 ms, shape 1.2). This is the paper's motivating workload class: the
+// interesting queries are p99 and beyond.
+type Latency struct {
+	// TailFrac is the fraction of requests drawn from the heavy tail.
+	// Zero means the default of 2%.
+	TailFrac float64
+}
+
+// Name implements Generator.
+func (g Latency) Name() string { return "latency" }
+
+// Generate implements Generator.
+func (g Latency) Generate(n int, r *rng.Source) []float64 {
+	frac := g.TailFrac
+	if frac == 0 {
+		frac = 0.02
+	}
+	body := LogNormal{Mu: math.Log(50), Sigma: 0.4}
+	tail := Pareto{Xm: 250, Alpha: 1.2}
+	out := make([]float64, n)
+	for i := range out {
+		if r.Float64() < frac {
+			out[i] = tail.Generate(1, r)[0]
+		} else {
+			out[i] = body.Generate(1, r)[0]
+		}
+	}
+	return out
+}
+
+// Zipf draws ranks from a Zipf distribution over {1, …, V} with exponent
+// S > 1, via inverse-CDF sampling on the precomputed harmonic weights. Heavy
+// duplication at small values stresses tie handling in the sketches.
+type Zipf struct {
+	S float64 // exponent, > 1
+	V int     // universe size
+}
+
+// Name implements Generator.
+func (g Zipf) Name() string { return fmt.Sprintf("zipf(%g,%d)", g.S, g.V) }
+
+// Generate implements Generator.
+func (g Zipf) Generate(n int, r *rng.Source) []float64 {
+	v := g.V
+	if v <= 0 {
+		v = 1000
+	}
+	s := g.S
+	if s <= 1 {
+		s = 1.2
+	}
+	// Precompute the CDF once; V is bounded in practice (≤ ~1e6).
+	cdf := make([]float64, v)
+	total := 0.0
+	for i := 1; i <= v; i++ {
+		total += 1 / math.Pow(float64(i), s)
+		cdf[i-1] = total
+	}
+	out := make([]float64, n)
+	for i := range out {
+		u := r.Float64() * total
+		// Binary search the CDF.
+		lo, hi := 0, v-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		out[i] = float64(lo + 1)
+	}
+	return out
+}
+
+// Clustered draws values from K tight clusters with widely separated
+// centers, a shape that historically trips interpolating sketches.
+type Clustered struct {
+	K int // number of clusters; zero means 10
+}
+
+// Name implements Generator.
+func (g Clustered) Name() string { return "clustered" }
+
+// Generate implements Generator.
+func (g Clustered) Generate(n int, r *rng.Source) []float64 {
+	k := g.K
+	if k <= 0 {
+		k = 10
+	}
+	out := make([]float64, n)
+	for i := range out {
+		c := r.Intn(k)
+		center := math.Pow(10, float64(c))
+		out[i] = center * (1 + 0.001*r.NormFloat64())
+	}
+	return out
+}
+
+// Trending produces values that drift upward over time with noise: v_i =
+// i·Drift + noise. Early items are small, so the stream's order correlates
+// with rank — an adversarial arrival pattern for compaction-based sketches.
+type Trending struct {
+	Drift float64 // zero means 1
+	Noise float64 // zero means 10% of drift·n
+}
+
+// Name implements Generator.
+func (g Trending) Name() string { return "trending" }
+
+// Generate implements Generator.
+func (g Trending) Generate(n int, r *rng.Source) []float64 {
+	drift := g.Drift
+	if drift == 0 {
+		drift = 1
+	}
+	noise := g.Noise
+	if noise == 0 {
+		noise = 0.1 * drift * float64(n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = drift*float64(i) + noise*r.NormFloat64()
+	}
+	return out
+}
+
+// Order describes an arrival-order transform applied after generation.
+// Relative-error guarantees of comparison-based sketches must hold for every
+// order; experiment E7 sweeps these.
+type Order uint8
+
+const (
+	// OrderAsGenerated leaves the generator's natural order.
+	OrderAsGenerated Order = iota
+	// OrderSorted arranges values ascending.
+	OrderSorted
+	// OrderReversed arranges values descending.
+	OrderReversed
+	// OrderShuffled applies a uniform random permutation.
+	OrderShuffled
+	// OrderZipper alternates smallest, largest, next-smallest, next-largest:
+	// every buffer holds items from both extremes at once.
+	OrderZipper
+)
+
+// String returns the order name.
+func (o Order) String() string {
+	switch o {
+	case OrderAsGenerated:
+		return "natural"
+	case OrderSorted:
+		return "sorted"
+	case OrderReversed:
+		return "reversed"
+	case OrderShuffled:
+		return "shuffled"
+	case OrderZipper:
+		return "zipper"
+	default:
+		return "unknown"
+	}
+}
+
+// AllOrders lists every arrival-order transform, for sweeps.
+var AllOrders = []Order{OrderAsGenerated, OrderSorted, OrderReversed, OrderShuffled, OrderZipper}
+
+// Arrange reorders vals in place according to o, using r for OrderShuffled.
+func Arrange(vals []float64, o Order, r *rng.Source) {
+	switch o {
+	case OrderAsGenerated:
+	case OrderSorted:
+		sortFloats(vals)
+	case OrderReversed:
+		sortFloats(vals)
+		for i, j := 0, len(vals)-1; i < j; i, j = i+1, j-1 {
+			vals[i], vals[j] = vals[j], vals[i]
+		}
+	case OrderShuffled:
+		r.ShuffleFloat64s(vals)
+	case OrderZipper:
+		sortFloats(vals)
+		zipped := make([]float64, 0, len(vals))
+		i, j := 0, len(vals)-1
+		for i <= j {
+			zipped = append(zipped, vals[i])
+			i++
+			if i <= j {
+				zipped = append(zipped, vals[j])
+				j--
+			}
+		}
+		copy(vals, zipped)
+	}
+}
+
+// sortFloats is a small local quicksort to avoid importing sort for a hot
+// path (and to keep allocation behaviour predictable).
+func sortFloats(xs []float64) {
+	if len(xs) < 2 {
+		return
+	}
+	quick(xs)
+}
+
+func quick(xs []float64) {
+	for len(xs) > 12 {
+		p := medianOfThreePartition(xs)
+		if p < len(xs)-p-1 {
+			quick(xs[:p])
+			xs = xs[p+1:]
+		} else {
+			quick(xs[p+1:])
+			xs = xs[:p]
+		}
+	}
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func medianOfThreePartition(xs []float64) int {
+	n := len(xs)
+	mid := n / 2
+	if xs[mid] < xs[0] {
+		xs[mid], xs[0] = xs[0], xs[mid]
+	}
+	if xs[n-1] < xs[0] {
+		xs[n-1], xs[0] = xs[0], xs[n-1]
+	}
+	if xs[n-1] < xs[mid] {
+		xs[n-1], xs[mid] = xs[mid], xs[n-1]
+	}
+	xs[mid], xs[n-2] = xs[n-2], xs[mid]
+	pivot := xs[n-2]
+	i, j := 0, n-2
+	for {
+		i++
+		for xs[i] < pivot {
+			i++
+		}
+		j--
+		for pivot < xs[j] {
+			j--
+		}
+		if i >= j {
+			break
+		}
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+	xs[i], xs[n-2] = xs[n-2], xs[i]
+	return i
+}
+
+// All returns the standard generator set used by sweep experiments.
+func All() []Generator {
+	return []Generator{
+		Uniform{Lo: 0, Hi: 1},
+		Permutation{},
+		Normal{Mu: 0, Sigma: 1},
+		LogNormal{Mu: 0, Sigma: 1},
+		Latency{},
+		Zipf{S: 1.3, V: 100000},
+		Clustered{},
+		Trending{},
+	}
+}

@@ -1,0 +1,251 @@
+package streams
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"req/internal/rng"
+)
+
+func TestGeneratorsProduceN(t *testing.T) {
+	r := rng.New(1)
+	for _, g := range All() {
+		vals := g.Generate(1000, r)
+		if len(vals) != 1000 {
+			t.Errorf("%s produced %d values", g.Name(), len(vals))
+		}
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s produced non-finite value at %d: %v", g.Name(), i, v)
+				break
+			}
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, g := range All() {
+		a := g.Generate(500, rng.New(7))
+		b := g.Generate(500, rng.New(7))
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s not deterministic at %d", g.Name(), i)
+				break
+			}
+		}
+	}
+}
+
+func TestGeneratorNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, g := range All() {
+		if seen[g.Name()] {
+			t.Errorf("duplicate generator name %q", g.Name())
+		}
+		seen[g.Name()] = true
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	vals := Uniform{Lo: 5, Hi: 10}.Generate(10000, rng.New(2))
+	for _, v := range vals {
+		if v < 5 || v >= 10 {
+			t.Fatalf("uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestPermutationIsPermutation(t *testing.T) {
+	const n = 10000
+	vals := Permutation{}.Generate(n, rng.New(3))
+	seen := make([]bool, n)
+	for _, v := range vals {
+		i := int(v)
+		if float64(i) != v || i < 0 || i >= n || seen[i] {
+			t.Fatalf("not a permutation: %v", v)
+		}
+		seen[i] = true
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	vals := LogNormal{Mu: 0, Sigma: 1}.Generate(10000, rng.New(4))
+	for _, v := range vals {
+		if v <= 0 {
+			t.Fatalf("lognormal non-positive: %v", v)
+		}
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	g := Pareto{Xm: 1, Alpha: 2}
+	vals := g.Generate(200000, rng.New(5))
+	exceed := 0
+	for _, v := range vals {
+		if v < 1 {
+			t.Fatalf("pareto below scale: %v", v)
+		}
+		if v > 10 {
+			exceed++
+		}
+	}
+	// P(X > 10) = 10^-2 = 1%.
+	got := float64(exceed) / float64(len(vals))
+	if got < 0.005 || got > 0.02 {
+		t.Fatalf("pareto tail mass at 10x scale = %v, want ≈0.01", got)
+	}
+}
+
+func TestLatencyHeavyTail(t *testing.T) {
+	vals := Latency{}.Generate(200000, rng.New(6))
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	p50 := sorted[len(sorted)/2]
+	p999 := sorted[len(sorted)*999/1000]
+	if p999/p50 < 5 {
+		t.Fatalf("latency tail not heavy: p50=%v p99.9=%v", p50, p999)
+	}
+	for _, v := range vals {
+		if v <= 0 {
+			t.Fatalf("latency non-positive: %v", v)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	vals := Zipf{S: 1.5, V: 1000}.Generate(100000, rng.New(7))
+	ones := 0
+	for _, v := range vals {
+		if v < 1 || v > 1000 || v != math.Trunc(v) {
+			t.Fatalf("zipf out of range: %v", v)
+		}
+		if v == 1 {
+			ones++
+		}
+	}
+	// Value 1 should dominate: its weight is 1/H where H ≈ 2.6 for s=1.5.
+	frac := float64(ones) / float64(len(vals))
+	if frac < 0.2 {
+		t.Fatalf("zipf top value frequency %v, want > 0.2", frac)
+	}
+}
+
+func TestZipfDefaults(t *testing.T) {
+	vals := Zipf{}.Generate(100, rng.New(8))
+	if len(vals) != 100 {
+		t.Fatal("zipf with zero params failed")
+	}
+}
+
+func TestClusteredSeparation(t *testing.T) {
+	vals := Clustered{K: 3}.Generate(10000, rng.New(9))
+	for _, v := range vals {
+		logv := math.Log10(v)
+		nearest := math.Round(logv)
+		if math.Abs(logv-nearest) > 0.1 {
+			t.Fatalf("clustered value %v far from any center", v)
+		}
+	}
+}
+
+func TestTrendingDrifts(t *testing.T) {
+	vals := Trending{Drift: 1, Noise: 1}.Generate(10000, rng.New(10))
+	firstMean, lastMean := 0.0, 0.0
+	for i := 0; i < 1000; i++ {
+		firstMean += vals[i]
+		lastMean += vals[len(vals)-1-i]
+	}
+	if lastMean <= firstMean {
+		t.Fatal("trending stream does not trend upward")
+	}
+}
+
+func TestArrangeSorted(t *testing.T) {
+	r := rng.New(11)
+	vals := Uniform{Lo: 0, Hi: 1}.Generate(5000, r)
+	Arrange(vals, OrderSorted, r)
+	if !sort.Float64sAreSorted(vals) {
+		t.Fatal("OrderSorted did not sort")
+	}
+}
+
+func TestArrangeReversed(t *testing.T) {
+	r := rng.New(12)
+	vals := Uniform{Lo: 0, Hi: 1}.Generate(5000, r)
+	Arrange(vals, OrderReversed, r)
+	for i := 1; i < len(vals); i++ {
+		if vals[i] > vals[i-1] {
+			t.Fatal("OrderReversed not descending")
+		}
+	}
+}
+
+func TestArrangePreservesMultiset(t *testing.T) {
+	r := rng.New(13)
+	for _, o := range AllOrders {
+		vals := Permutation{}.Generate(2001, r)
+		sum := 0.0
+		for _, v := range vals {
+			sum += v
+		}
+		Arrange(vals, o, r)
+		got := 0.0
+		for _, v := range vals {
+			got += v
+		}
+		if got != sum || len(vals) != 2001 {
+			t.Fatalf("order %v changed the multiset", o)
+		}
+	}
+}
+
+func TestArrangeZipperAlternates(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6}
+	Arrange(vals, OrderZipper, rng.New(14))
+	want := []float64{1, 6, 2, 5, 3, 4}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("zipper = %v, want %v", vals, want)
+		}
+	}
+}
+
+func TestArrangeZipperOdd(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	Arrange(vals, OrderZipper, rng.New(15))
+	want := []float64{1, 5, 2, 4, 3}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("zipper odd = %v, want %v", vals, want)
+		}
+	}
+}
+
+func TestOrderString(t *testing.T) {
+	names := map[Order]string{
+		OrderAsGenerated: "natural", OrderSorted: "sorted", OrderReversed: "reversed",
+		OrderShuffled: "shuffled", OrderZipper: "zipper", Order(99): "unknown",
+	}
+	for o, want := range names {
+		if o.String() != want {
+			t.Errorf("Order(%d).String() = %q, want %q", o, o.String(), want)
+		}
+	}
+}
+
+func TestSortFloatsMatchesStdlib(t *testing.T) {
+	r := rng.New(16)
+	for _, n := range []int{0, 1, 2, 13, 100, 4096} {
+		vals := Uniform{Lo: 0, Hi: 1}.Generate(n, r)
+		mine := append([]float64(nil), vals...)
+		std := append([]float64(nil), vals...)
+		sortFloats(mine)
+		sort.Float64s(std)
+		for i := range mine {
+			if mine[i] != std[i] {
+				t.Fatalf("n=%d: sortFloats diverges from stdlib at %d", n, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Package tdigest implements the t-digest of Dunning and Ertl ("Computing
+// extremely accurate quantiles using t-digests", 2019), the merging variant
+// with the k₁ scale function.
+//
+// The t-digest is the widely deployed heuristic for accurate tail quantiles
+// that the REQ paper contrasts with in Section 1.1: it is "intended to
+// achieve relative error, but provides no formal accuracy analysis". The
+// experiment harness uses it to show where a heuristic with no guarantee
+// sits between the additive sketches and REQ on tail workloads (E4).
+//
+// Centroids (mean, weight) are kept sorted by mean. Incoming values buffer
+// until the buffer fills, then a merge pass sweeps buffer and centroids in
+// order, closing a centroid whenever its k-size — the difference of the
+// scale function k(q) = δ/(2π)·asin(2q−1) across the centroid — would
+// exceed 1. The scale function concentrates resolution near q = 0 and
+// q = 1, which is what gives t-digest its tail accuracy.
+package tdigest
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// DefaultCompression is the δ parameter used when the caller passes 0.
+const DefaultCompression = 200
+
+// Sketch is a merging t-digest. Not safe for concurrent use.
+type Sketch struct {
+	compression float64
+	centroids   []centroid
+	buf         []float64
+	n           uint64
+	minV, maxV  float64
+}
+
+type centroid struct {
+	mean   float64
+	weight uint64
+}
+
+// New returns an empty t-digest with the given compression δ (0 means
+// DefaultCompression). Larger δ means more centroids and better accuracy.
+func New(compression float64) *Sketch {
+	if compression <= 0 {
+		compression = DefaultCompression
+	}
+	bufSize := int(8 * compression)
+	return &Sketch{
+		compression: compression,
+		buf:         make([]float64, 0, bufSize),
+		minV:        math.Inf(1),
+		maxV:        math.Inf(-1),
+	}
+}
+
+// Compression returns δ.
+func (s *Sketch) Compression() float64 { return s.compression }
+
+// N returns the number of values summarised.
+func (s *Sketch) N() uint64 { return s.n + uint64(len(s.buf)) }
+
+// ItemsRetained returns the number of centroids plus buffered values.
+func (s *Sketch) ItemsRetained() int { return len(s.centroids) + len(s.buf) }
+
+// Update inserts one value. NaN is ignored.
+func (s *Sketch) Update(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	if v < s.minV {
+		s.minV = v
+	}
+	if v > s.maxV {
+		s.maxV = v
+	}
+	s.buf = append(s.buf, v)
+	if len(s.buf) == cap(s.buf) {
+		s.process()
+	}
+}
+
+// scale is the k₁ scale function.
+func (s *Sketch) scale(q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	return s.compression / (2 * math.Pi) * math.Asin(2*q-1)
+}
+
+// process merges buffered values into the centroid list.
+func (s *Sketch) process() {
+	if len(s.buf) == 0 {
+		return
+	}
+	sort.Float64s(s.buf)
+	total := s.n + uint64(len(s.buf))
+
+	merged := make([]centroid, 0, len(s.centroids)+1)
+	bi, ci := 0, 0
+	var cur centroid
+	var seen uint64          // weight fully merged into `merged` plus cur
+	kLimit := s.scale(0) + 1 // not used directly; recomputed per centroid
+	_ = kLimit
+
+	next := func() (centroid, bool) {
+		switch {
+		case bi < len(s.buf) && (ci >= len(s.centroids) || s.buf[bi] <= s.centroids[ci].mean):
+			c := centroid{mean: s.buf[bi], weight: 1}
+			bi++
+			return c, true
+		case ci < len(s.centroids):
+			c := s.centroids[ci]
+			ci++
+			return c, true
+		default:
+			return centroid{}, false
+		}
+	}
+
+	cur, ok := next()
+	if !ok {
+		return
+	}
+	qLeft := 0.0
+	kLeft := s.scale(qLeft)
+	for {
+		c, ok := next()
+		if !ok {
+			break
+		}
+		qRight := float64(seen+cur.weight+c.weight) / float64(total)
+		if s.scale(qRight)-kLeft <= 1 {
+			// Absorb c into cur (weighted mean).
+			w := cur.weight + c.weight
+			cur.mean = cur.mean + (c.mean-cur.mean)*float64(c.weight)/float64(w)
+			cur.weight = w
+		} else {
+			merged = append(merged, cur)
+			seen += cur.weight
+			qLeft = float64(seen) / float64(total)
+			kLeft = s.scale(qLeft)
+			cur = c
+		}
+	}
+	merged = append(merged, cur)
+
+	s.centroids = merged
+	s.n = total
+	s.buf = s.buf[:0]
+}
+
+// Rank returns the estimated inclusive rank of y, interpolating linearly
+// within centroids (each centroid's mass is assumed uniform around its
+// mean, the standard t-digest interpolation).
+func (s *Sketch) Rank(y float64) uint64 {
+	s.process()
+	if s.n == 0 {
+		return 0
+	}
+	if y < s.minV {
+		return 0
+	}
+	if y >= s.maxV {
+		return s.n
+	}
+	cs := s.centroids
+	// Cumulative weight strictly before centroid i plus half of i gives the
+	// rank of the centroid mean.
+	var before uint64
+	for i := range cs {
+		if y < cs[i].mean {
+			// Interpolate between previous mean (or min) and this mean.
+			var loVal, loRank float64
+			if i == 0 {
+				loVal, loRank = s.minV, 0
+			} else {
+				loVal = cs[i-1].mean
+				loRank = float64(before) - float64(cs[i-1].weight)/2
+			}
+			hiVal := cs[i].mean
+			hiRank := float64(before) + float64(cs[i].weight)/2
+			if hiVal <= loVal {
+				return uint64(math.Max(0, hiRank))
+			}
+			frac := (y - loVal) / (hiVal - loVal)
+			r := loRank + frac*(hiRank-loRank)
+			if r < 0 {
+				r = 0
+			}
+			return uint64(r + 0.5)
+		}
+		before += cs[i].weight
+	}
+	return s.n
+}
+
+// Quantile returns the estimated φ-quantile, φ ∈ [0, 1].
+func (s *Sketch) Quantile(phi float64) (float64, error) {
+	s.process()
+	if s.n == 0 {
+		return 0, errors.New("tdigest: empty sketch")
+	}
+	if math.IsNaN(phi) || phi < 0 || phi > 1 {
+		return 0, errors.New("tdigest: rank out of [0, 1]")
+	}
+	if phi == 0 {
+		return s.minV, nil
+	}
+	if phi == 1 {
+		return s.maxV, nil
+	}
+	target := phi * float64(s.n)
+	cs := s.centroids
+	var before uint64
+	for i := range cs {
+		midRank := float64(before) + float64(cs[i].weight)/2
+		if target <= midRank {
+			var loVal, loRank float64
+			if i == 0 {
+				loVal, loRank = s.minV, 0
+			} else {
+				loVal = cs[i-1].mean
+				loRank = float64(before) - float64(cs[i-1].weight)/2
+			}
+			if midRank <= loRank {
+				return cs[i].mean, nil
+			}
+			frac := (target - loRank) / (midRank - loRank)
+			return loVal + frac*(cs[i].mean-loVal), nil
+		}
+		before += cs[i].weight
+	}
+	return s.maxV, nil
+}
+
+// Min returns the exact minimum. ok is false when empty.
+func (s *Sketch) Min() (float64, bool) {
+	if s.N() == 0 {
+		return 0, false
+	}
+	return s.minV, true
+}
+
+// Max returns the exact maximum. ok is false when empty.
+func (s *Sketch) Max() (float64, bool) {
+	if s.N() == 0 {
+		return 0, false
+	}
+	return s.maxV, true
+}
+
+// Merge absorbs other into s by replaying other's centroids as weighted
+// inserts through the merge pass.
+func (s *Sketch) Merge(other *Sketch) error {
+	if other == nil || other.N() == 0 {
+		return nil
+	}
+	if other == s {
+		return errors.New("tdigest: cannot merge a sketch into itself")
+	}
+	other.process()
+	s.process()
+	// Append other's centroids and re-merge. Weights are preserved by
+	// concatenating centroid lists and running a full merge pass.
+	s.centroids = append(s.centroids, other.centroids...)
+	sort.Slice(s.centroids, func(i, j int) bool { return s.centroids[i].mean < s.centroids[j].mean })
+	s.n += other.n
+	if other.minV < s.minV {
+		s.minV = other.minV
+	}
+	if other.maxV > s.maxV {
+		s.maxV = other.maxV
+	}
+	// Re-run the merge pass over the combined centroid list.
+	s.recompress()
+	return nil
+}
+
+// recompress runs the k-limit sweep over the current centroid list.
+func (s *Sketch) recompress() {
+	if len(s.centroids) == 0 {
+		return
+	}
+	cs := s.centroids
+	merged := make([]centroid, 0, len(cs))
+	var seen uint64
+	cur := cs[0]
+	kLeft := s.scale(0)
+	for _, c := range cs[1:] {
+		qRight := float64(seen+cur.weight+c.weight) / float64(s.n)
+		if s.scale(qRight)-kLeft <= 1 {
+			w := cur.weight + c.weight
+			cur.mean = cur.mean + (c.mean-cur.mean)*float64(c.weight)/float64(w)
+			cur.weight = w
+		} else {
+			merged = append(merged, cur)
+			seen += cur.weight
+			kLeft = s.scale(float64(seen) / float64(s.n))
+			cur = c
+		}
+	}
+	merged = append(merged, cur)
+	s.centroids = merged
+}

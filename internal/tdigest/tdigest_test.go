@@ -1,0 +1,276 @@
+package tdigest
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"req/internal/exact"
+	"req/internal/rng"
+)
+
+func feed(s *Sketch, n int, seed uint64) []float64 {
+	r := rng.New(seed)
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = r.Float64() * 1000
+	}
+	for _, v := range vals {
+		s.Update(v)
+	}
+	return vals
+}
+
+func TestEmpty(t *testing.T) {
+	s := New(0)
+	if s.N() != 0 || s.Rank(1) != 0 {
+		t.Fatal("empty misbehaves")
+	}
+	if _, err := s.Quantile(0.5); err == nil {
+		t.Fatal("quantile on empty accepted")
+	}
+	if s.Compression() != DefaultCompression {
+		t.Fatal("default compression not applied")
+	}
+}
+
+func TestSingleValue(t *testing.T) {
+	s := New(100)
+	s.Update(42)
+	if s.N() != 1 {
+		t.Fatal("N != 1")
+	}
+	q, err := s.Quantile(0.5)
+	if err != nil || q != 42 {
+		t.Fatalf("Quantile = %v, %v", q, err)
+	}
+	if s.Rank(42) != 1 || s.Rank(41) != 0 {
+		t.Fatal("single-value ranks wrong")
+	}
+}
+
+func TestCompressionBoundsCentroids(t *testing.T) {
+	s := New(100)
+	feed(s, 200000, 1)
+	s.process()
+	// The k1 scale function admits at most ~δ centroids (π·δ/2 bound); in
+	// practice close to δ.
+	if len(s.centroids) > 2*int(s.compression) {
+		t.Fatalf("%d centroids for compression %v", len(s.centroids), s.compression)
+	}
+	if len(s.centroids) < int(s.compression)/4 {
+		t.Fatalf("suspiciously few centroids: %d", len(s.centroids))
+	}
+}
+
+func TestWeightsSumToN(t *testing.T) {
+	s := New(150)
+	feed(s, 123457, 2)
+	s.process()
+	var w uint64
+	for _, c := range s.centroids {
+		w += c.weight
+	}
+	if w != s.n {
+		t.Fatalf("centroid weight %d != n %d", w, s.n)
+	}
+}
+
+func TestCentroidsSorted(t *testing.T) {
+	s := New(100)
+	feed(s, 100000, 3)
+	s.process()
+	for i := 1; i < len(s.centroids); i++ {
+		if s.centroids[i].mean < s.centroids[i-1].mean {
+			t.Fatal("centroids out of order")
+		}
+	}
+}
+
+func TestQuantileAccuracyMidRange(t *testing.T) {
+	const n = 100000
+	s := New(200)
+	vals := feed(s, n, 4)
+	oracle := exact.FromValues(vals)
+	for _, phi := range []float64{0.25, 0.5, 0.75} {
+		got, err := s.Quantile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trueRank := float64(oracle.Rank(got)) / n
+		if math.Abs(trueRank-phi) > 0.02 {
+			t.Errorf("phi=%v: achieved rank %v", phi, trueRank)
+		}
+	}
+}
+
+func TestTailQuantileAccuracy(t *testing.T) {
+	// The t-digest's selling point: tail quantiles on skewed data.
+	const n = 200000
+	s := New(200)
+	r := rng.New(5)
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = math.Exp(r.NormFloat64() * 2)
+	}
+	for _, v := range vals {
+		s.Update(v)
+	}
+	oracle := exact.FromValues(vals)
+	for _, phi := range []float64{0.99, 0.999} {
+		got, err := s.Quantile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		achieved := float64(oracle.Rank(got)) / n
+		if math.Abs(achieved-phi) > 0.005 {
+			t.Errorf("phi=%v: achieved rank %v", phi, achieved)
+		}
+	}
+}
+
+func TestRankMonotone(t *testing.T) {
+	s := New(100)
+	feed(s, 50000, 6)
+	prev := uint64(0)
+	for y := -5.0; y < 1010; y += 7 {
+		got := s.Rank(y)
+		if got < prev {
+			t.Fatalf("rank decreased at %v: %d < %d", y, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestRankEndpoints(t *testing.T) {
+	s := New(100)
+	feed(s, 10000, 7)
+	if s.Rank(-1) != 0 {
+		t.Fatal("rank below min")
+	}
+	if s.Rank(1e9) != s.N() {
+		t.Fatal("rank above max")
+	}
+	mx, _ := s.Max()
+	if s.Rank(mx) != s.N() {
+		t.Fatal("rank at max should be n")
+	}
+}
+
+func TestQuantileEndpointsExact(t *testing.T) {
+	s := New(100)
+	vals := feed(s, 10000, 8)
+	sort.Float64s(vals)
+	q0, _ := s.Quantile(0)
+	q1, _ := s.Quantile(1)
+	if q0 != vals[0] || q1 != vals[len(vals)-1] {
+		t.Fatal("endpoint quantiles not exact")
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	s := New(100)
+	feed(s, 50000, 9)
+	prev := math.Inf(-1)
+	for phi := 0.0; phi <= 1.0; phi += 0.005 {
+		q, err := s.Quantile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q < prev-1e-9 {
+			t.Fatalf("quantile decreased at %v: %v < %v", phi, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestQuantileRejectsBad(t *testing.T) {
+	s := New(100)
+	s.Update(1)
+	for _, phi := range []float64{-1, 2, math.NaN()} {
+		if _, err := s.Quantile(phi); err == nil {
+			t.Errorf("Quantile(%v) accepted", phi)
+		}
+	}
+}
+
+func TestNaNIgnored(t *testing.T) {
+	s := New(100)
+	s.Update(math.NaN())
+	if s.N() != 0 {
+		t.Fatal("NaN counted")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := New(200)
+	b := New(200)
+	va := feed(a, 60000, 10)
+	vb := feed(b, 60000, 11)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != 120000 {
+		t.Fatalf("merged N = %d", a.N())
+	}
+	all := append(va, vb...)
+	oracle := exact.FromValues(all)
+	for _, phi := range []float64{0.25, 0.5, 0.9} {
+		got, err := a.Quantile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		achieved := float64(oracle.Rank(got)) / float64(len(all))
+		if math.Abs(achieved-phi) > 0.02 {
+			t.Errorf("merged phi=%v: achieved %v", phi, achieved)
+		}
+	}
+}
+
+func TestMergeEmptyAndSelf(t *testing.T) {
+	a := New(100)
+	a.Update(1)
+	if err := a.Merge(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(New(100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(a); err == nil {
+		t.Fatal("self merge accepted")
+	}
+}
+
+func TestMergePreservesWeight(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	feed(a, 40000, 12)
+	feed(b, 30000, 13)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	var w uint64
+	for _, c := range a.centroids {
+		w += c.weight
+	}
+	if w != a.n || a.n != 70000 {
+		t.Fatalf("merged weights %d, n %d", w, a.n)
+	}
+}
+
+func TestScaleFunction(t *testing.T) {
+	s := New(100)
+	if math.Abs(s.scale(0.5)) > 1e-12 {
+		t.Fatal("k(0.5) != 0")
+	}
+	if s.scale(0) >= s.scale(0.5) || s.scale(0.5) >= s.scale(1) {
+		t.Fatal("scale not increasing")
+	}
+	// Slope near the edges must be steeper than at the center (tail
+	// resolution): k(0.01)-k(0) > k(0.51)-k(0.5).
+	edge := s.scale(0.01) - s.scale(0)
+	mid := s.scale(0.51) - s.scale(0.5)
+	if edge <= mid {
+		t.Fatalf("scale slope edge %v <= mid %v", edge, mid)
+	}
+}

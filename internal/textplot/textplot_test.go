@@ -1,0 +1,102 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	out := Render([]Series{{
+		Name: "linear",
+		X:    []float64{1, 2, 3, 4, 5},
+		Y:    []float64{1, 2, 3, 4, 5},
+	}}, Options{Title: "test plot", XLabel: "x", YLabel: "y"})
+	for _, want := range []string{"test plot", "legend", "linear", "*"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderMultipleSeries(t *testing.T) {
+	out := Render([]Series{
+		{Name: "a", X: []float64{1, 2}, Y: []float64{1, 2}},
+		{Name: "b", X: []float64{1, 2}, Y: []float64{2, 1}},
+	}, Options{})
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatal("legend missing series")
+	}
+	if !strings.Contains(out, "+") {
+		t.Fatal("second marker not used")
+	}
+}
+
+func TestRenderLogAxes(t *testing.T) {
+	out := Render([]Series{{
+		Name: "pow",
+		X:    []float64{1, 10, 100, 1000},
+		Y:    []float64{1, 100, 10000, 1000000},
+	}}, Options{LogX: true, LogY: true})
+	// Log-log of a power law is a straight line; at minimum it must render
+	// and label the decade endpoints.
+	if !strings.Contains(out, "1e+03") && !strings.Contains(out, "1000") {
+		t.Fatalf("log axis labels missing:\n%s", out)
+	}
+}
+
+func TestRenderSkipsNonPositiveOnLog(t *testing.T) {
+	out := Render([]Series{{
+		Name: "mixed",
+		X:    []float64{-1, 0, 1, 10},
+		Y:    []float64{1, 1, 1, 2},
+	}}, Options{LogX: true})
+	if out == "" {
+		t.Fatal("empty output")
+	}
+}
+
+func TestRenderDegenerate(t *testing.T) {
+	out := Render(nil, Options{Title: "empty"})
+	if !strings.Contains(out, "no plottable points") {
+		t.Fatalf("degenerate case: %q", out)
+	}
+	out = Render([]Series{{Name: "nan", X: []float64{1}, Y: []float64{nan()}}}, Options{})
+	if !strings.Contains(out, "no plottable points") {
+		t.Fatal("all-NaN series should be degenerate")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	out := Render([]Series{{Name: "c", X: []float64{1, 2, 3}, Y: []float64{5, 5, 5}}}, Options{})
+	if !strings.Contains(out, "c") {
+		t.Fatal("constant series failed to render")
+	}
+}
+
+func TestRenderMismatchedLengths(t *testing.T) {
+	// X longer than Y must not panic.
+	out := Render([]Series{{Name: "m", X: []float64{1, 2, 3}, Y: []float64{1}}}, Options{})
+	if out == "" {
+		t.Fatal("empty output")
+	}
+}
+
+func TestRenderCustomSize(t *testing.T) {
+	out := Render([]Series{{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}}},
+		Options{Width: 20, Height: 5})
+	lines := strings.Split(out, "\n")
+	plotLines := 0
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			plotLines++
+		}
+	}
+	if plotLines != 5 {
+		t.Fatalf("plot rows = %d, want 5", plotLines)
+	}
+}
+
+func nan() float64 {
+	var z float64
+	return z / z
+}

@@ -1,0 +1,109 @@
+package req
+
+import (
+	"fmt"
+
+	"req/internal/core"
+)
+
+// An Option configures a sketch at construction time.
+type Option func(*core.Config) error
+
+// WithEpsilon sets the multiplicative error target ε ∈ (0, 1). The default
+// is 0.01. Smaller ε means a larger sketch: space grows linearly in 1/ε.
+func WithEpsilon(eps float64) Option {
+	return func(c *core.Config) error {
+		if eps <= 0 || eps >= 1 {
+			return fmt.Errorf("req: epsilon %v out of range (0, 1)", eps)
+		}
+		c.Eps = eps
+		return nil
+	}
+}
+
+// WithDelta sets the per-item failure probability δ ∈ (0, 0.5]. The default
+// is 0.01. Space grows with √log(1/δ) (or log log(1/δ) in Theorem-2 mode).
+func WithDelta(delta float64) Option {
+	return func(c *core.Config) error {
+		if delta <= 0 || delta > 0.5 {
+			return fmt.Errorf("req: delta %v out of range (0, 0.5]", delta)
+		}
+		c.Delta = delta
+		return nil
+	}
+}
+
+// WithK selects the fixed-section-size mode with the given k (even, ≥ 4),
+// matching the parameterisation of Apache DataSketches' ReqSketch. Error
+// decreases as k grows; space is ≈ 2k·log₂(n/k) items per level. WithK is
+// mutually exclusive with WithEpsilon/WithDelta-derived sizing.
+func WithK(k int) Option {
+	return func(c *core.Config) error {
+		if k < 4 || k%2 != 0 {
+			return fmt.Errorf("req: k = %d must be an even integer ≥ 4", k)
+		}
+		c.Mode = core.ModeFixedK
+		c.K = k
+		return nil
+	}
+}
+
+// WithTheorem2Mode selects the Appendix C parameterisation: section size
+// k ∝ ε⁻¹·log₂log₂(1/δ), giving space O(ε⁻¹·log²(εn)·log log(1/δ)). It is
+// preferable when δ is extremely small (say, below (εn)^−1); with δ small
+// enough the guarantee holds for every coin outcome, recovering the
+// deterministic O(ε⁻¹·log³(εn)) bound.
+func WithTheorem2Mode() Option {
+	return func(c *core.Config) error {
+		c.Mode = core.ModeTheorem2
+		return nil
+	}
+}
+
+// WithKnownN declares an upper bound on the total stream length, sizing the
+// sketch once instead of growing through the N-squaring schedule of
+// Section 5. Exceeding the bound is safe (growth resumes) but forfeits the
+// pre-sizing benefit.
+func WithKnownN(n uint64) Option {
+	return func(c *core.Config) error {
+		if n == 0 {
+			return fmt.Errorf("req: known n must be positive")
+		}
+		c.N0 = core.CeilPow2(n)
+		return nil
+	}
+}
+
+// WithHighRankAccuracy makes the relative-error guarantee apply to
+// n − R(y), i.e., to the largest items: the sketch stores the top of the
+// distribution exactly and degrades gracefully toward the bottom. This is
+// the mode for latency-tail monitoring (p99, p99.9, …), per the reversed-
+// comparator observation in Section 1 of the paper.
+func WithHighRankAccuracy() Option {
+	return func(c *core.Config) error {
+		c.HRA = true
+		return nil
+	}
+}
+
+// WithSeed fixes the seed of the sketch's internal random source, making
+// runs bit-for-bit reproducible. Two sketches with the same seed, options,
+// and input are identical.
+func WithSeed(seed uint64) Option {
+	return func(c *core.Config) error {
+		c.Seed = seed
+		return nil
+	}
+}
+
+// WithPaperConstants sizes the sketch with the exact constants of the
+// paper's equations (15), (16) and N₀ = 2⁸·k̂ rather than the library's
+// practical constants. The asymptotics are identical; the paper constants
+// exist for proof convenience and make the sketch several times larger.
+// Used by the reproduction experiments.
+func WithPaperConstants() Option {
+	return func(c *core.Config) error {
+		c.PaperConstants = true
+		return nil
+	}
+}

@@ -1,0 +1,175 @@
+package req
+
+import (
+	"errors"
+	"fmt"
+
+	"req/internal/core"
+)
+
+// Sketch estimates ranks and quantiles of a stream of items of type T under
+// a caller-supplied strict total order, with multiplicative rank error. See
+// the package documentation for the guarantee. Not safe for concurrent use.
+type Sketch[T any] struct {
+	core *core.Sketch[T]
+}
+
+// New returns an empty sketch over the strict order less (less(a, b) must
+// report whether a orders before b) configured by opts.
+func New[T any](less func(a, b T) bool, opts ...Option) (*Sketch[T], error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	c, err := core.New(less, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Sketch[T]{core: c}, nil
+}
+
+// Update inserts one item into the sketch.
+func (s *Sketch[T]) Update(item T) {
+	s.core.Update(item)
+}
+
+// UpdateAll inserts every item of the slice.
+func (s *Sketch[T]) UpdateAll(items []T) {
+	for _, it := range items {
+		s.core.Update(it)
+	}
+}
+
+// UpdateWeighted inserts item with the given integer weight, equivalent to
+// weight repeated Updates but in O(log weight + sketch buffer) work: the
+// weight decomposes in binary across the sketch's levels. Weight 0 is a
+// no-op. It returns an error only if the total weight would overflow the
+// representable stream length (2⁶²).
+func (s *Sketch[T]) UpdateWeighted(item T, weight uint64) error {
+	return s.core.UpdateWeighted(item, weight)
+}
+
+// Merge absorbs other into s, summarising the concatenation of both inputs
+// with the paper's full-mergeability guarantee (Theorem 3). The other
+// sketch is not modified. Sketches must be built with compatible options
+// (same accuracy parameters and rank-accuracy side); merging s with itself
+// is an error.
+func (s *Sketch[T]) Merge(other *Sketch[T]) error {
+	if other == nil {
+		return nil
+	}
+	return s.core.Merge(other.core)
+}
+
+// Count returns the total number of items summarised.
+func (s *Sketch[T]) Count() uint64 { return s.core.Count() }
+
+// Empty reports whether the sketch has seen no items.
+func (s *Sketch[T]) Empty() bool { return s.core.Empty() }
+
+// Min returns the smallest item seen (tracked exactly). ok is false when
+// the sketch is empty.
+func (s *Sketch[T]) Min() (item T, ok bool) { return s.core.Min() }
+
+// Max returns the largest item seen (tracked exactly). ok is false when the
+// sketch is empty.
+func (s *Sketch[T]) Max() (item T, ok bool) { return s.core.Max() }
+
+// Rank returns the estimated inclusive rank of y: the number of stream
+// items ≤ y. The guarantee is |R̂(y) − R(y)| ≤ ε·R(y) with probability 1−δ
+// (for high-rank-accuracy sketches, the guarantee is on n − R(y) instead).
+func (s *Sketch[T]) Rank(y T) uint64 { return s.core.Rank(y) }
+
+// RankExclusive returns the estimated exclusive rank of y: the number of
+// stream items strictly less than y.
+func (s *Sketch[T]) RankExclusive(y T) uint64 { return s.core.RankExclusive(y) }
+
+// NormalizedRank returns Rank(y)/Count() in [0, 1].
+func (s *Sketch[T]) NormalizedRank(y T) float64 { return s.core.NormalizedRank(y) }
+
+// Quantile returns the item at normalized rank phi ∈ [0, 1]: the smallest
+// retained item whose estimated rank reaches ⌈phi·n⌉. Quantile(0) is the
+// exact minimum and Quantile(1) the exact maximum. It returns ErrEmpty on
+// an empty sketch and ErrBadRank for phi outside [0, 1].
+func (s *Sketch[T]) Quantile(phi float64) (T, error) { return s.core.Quantile(phi) }
+
+// Quantiles returns the items at each normalized rank, sharing one sorted
+// pass over the sketch.
+func (s *Sketch[T]) Quantiles(phis []float64) ([]T, error) { return s.core.Quantiles(phis) }
+
+// CDF returns the estimated normalized ranks at each split point (which
+// must be ascending); the result has one more entry than splits, the last
+// being 1.
+func (s *Sketch[T]) CDF(splits []T) ([]float64, error) { return s.core.CDF(splits) }
+
+// PMF returns the estimated probability mass of each interval delimited by
+// the ascending split points.
+func (s *Sketch[T]) PMF(splits []T) ([]float64, error) { return s.core.PMF(splits) }
+
+// ItemsRetained returns the number of items currently stored — the sketch's
+// footprint, O(ε⁻¹·log^1.5(εn)·√log(1/δ)) by Theorem 1.
+func (s *Sketch[T]) ItemsRetained() int { return s.core.ItemsRetained() }
+
+// NumLevels returns the number of relative-compactors in the sketch.
+func (s *Sketch[T]) NumLevels() int { return s.core.NumLevels() }
+
+// K returns the current section size k of the compaction schedule.
+func (s *Sketch[T]) K() int { return s.core.K() }
+
+// WeightedItem pairs a retained item with the weight it carries in the
+// sketch's coreset.
+type WeightedItem[T any] struct {
+	Item   T
+	Weight uint64
+}
+
+// Retained returns the sketch's weighted coreset: every stored item in
+// ascending order with its weight. Weights sum to Count() exactly. This is
+// the raw material for custom serialization of generic item types or for
+// exporting the summary to other systems.
+func (s *Sketch[T]) Retained() []WeightedItem[T] {
+	v := s.core.SortedView()
+	out := make([]WeightedItem[T], v.Size())
+	items := v.Items()
+	for i := range out {
+		out[i] = WeightedItem[T]{Item: items[i], Weight: v.Weight(i)}
+	}
+	return out
+}
+
+// Reset empties the sketch in place, keeping its configuration (and
+// continuing its random stream). Useful for pooling sketches across
+// aggregation windows.
+func (s *Sketch[T]) Reset() { s.core.Reset() }
+
+// String returns a short human-readable summary.
+func (s *Sketch[T]) String() string {
+	return fmt.Sprintf("req.Sketch{n=%d, retained=%d, levels=%d, k=%d}",
+		s.Count(), s.ItemsRetained(), s.NumLevels(), s.K())
+}
+
+// DebugString renders the internal level structure (buffer occupancies,
+// schedule states), in the layout of the paper's Figures 1 and 2.
+func (s *Sketch[T]) DebugString() string { return s.core.DebugString() }
+
+// Errors re-exported from the engine.
+var (
+	// ErrEmpty is returned by quantile queries on an empty sketch.
+	ErrEmpty = core.ErrEmpty
+	// ErrBadRank is returned for normalized ranks outside [0, 1].
+	ErrBadRank = core.ErrBadRank
+)
+
+// buildConfig folds opts over a default configuration.
+func buildConfig(opts []Option) (core.Config, error) {
+	var cfg core.Config
+	for _, opt := range opts {
+		if opt == nil {
+			return cfg, errors.New("req: nil option")
+		}
+		if err := opt(&cfg); err != nil {
+			return cfg, err
+		}
+	}
+	return cfg, nil
+}

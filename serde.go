@@ -1,0 +1,356 @@
+package req
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"req/internal/core"
+	"req/internal/schedule"
+)
+
+// Binary serialization for Float64 and Uint64 sketches. The format is
+// self-describing and versioned; it captures the full sketch state
+// including the random generator, so a restored sketch continues exactly
+// where the original stopped. All integers are little-endian.
+//
+// Layout:
+//
+//	magic   [4]byte  "REQ1"
+//	version uint8    (1)
+//	itype   uint8    item type (0 float64, 1 uint64)
+//	mode    uint8    core.Mode
+//	sched   uint8    schedule.Kind
+//	flags   uint8    bit0 HRA, bit1 PaperConstants, bit2 DetCoin, bit3 hasMinMax
+//	eps     float64
+//	delta   float64
+//	khat    float64
+//	fixedK  uint32
+//	seed    uint64
+//	n       uint64
+//	bound   uint64
+//	n0      uint64
+//	min     item
+//	max     item
+//	rng     uint64 word, uint64 bits, uint8 nbits
+//	stats   5×uint64, uint32 (compactions, special, growths, merges, coins, maxbuf)
+//	levels  uint8 count, then per level: uint64 state, uint32 len, len×item
+var (
+	magic = [4]byte{'R', 'E', 'Q', '1'}
+
+	// ErrCorrupt is returned when decoding fails structural validation.
+	ErrCorrupt = errors.New("req: corrupt or truncated sketch encoding")
+)
+
+const formatVersion = 1
+
+// Item type tags used in the encoding header.
+const (
+	itemFloat64 = 0
+	itemUint64  = 1
+)
+
+// maxDecodedLevelItems caps per-level allocation while decoding untrusted
+// bytes; no valid sketch in this format approaches it.
+const maxDecodedLevelItems = 1 << 28
+
+// itemCodec serializes one item type. Implementations must be fixed-width.
+type itemCodec[T any] struct {
+	tag      byte
+	put      func(out []byte, v T) []byte
+	get      func(r *reader) (T, bool)
+	validate func(v T) error
+}
+
+var float64Codec = itemCodec[float64]{
+	tag: itemFloat64,
+	put: func(out []byte, v float64) []byte {
+		return binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+	},
+	get: func(r *reader) (float64, bool) {
+		v, ok := r.u64()
+		return math.Float64frombits(v), ok
+	},
+	validate: func(v float64) error {
+		if math.IsNaN(v) {
+			return errors.New("NaN item")
+		}
+		return nil
+	},
+}
+
+var uint64Codec = itemCodec[uint64]{
+	tag: itemUint64,
+	put: func(out []byte, v uint64) []byte {
+		return binary.LittleEndian.AppendUint64(out, v)
+	},
+	get: func(r *reader) (uint64, bool) {
+		return r.u64()
+	},
+	validate: func(uint64) error { return nil },
+}
+
+// marshalSnapshot encodes a snapshot under the given codec.
+func marshalSnapshot[T any](snap core.Snapshot[T], codec itemCodec[T]) ([]byte, error) {
+	size := 4 + 2 + 4 + 8*3 + 4 + 8*4 + 8*2 + (8 + 8 + 1) + (8*5 + 4) + 1
+	for _, lv := range snap.Levels {
+		size += 8 + 4 + 8*len(lv.Items)
+	}
+	out := make([]byte, 0, size)
+	out = append(out, magic[:]...)
+	out = append(out, formatVersion, codec.tag, byte(snap.Config.Mode), byte(snap.Config.Schedule))
+	var flags byte
+	if snap.Config.HRA {
+		flags |= 1
+	}
+	if snap.Config.PaperConstants {
+		flags |= 2
+	}
+	if snap.Config.DetCoin {
+		flags |= 4
+	}
+	if snap.HasMinMax {
+		flags |= 8
+	}
+	out = append(out, flags)
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(snap.Config.Eps))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(snap.Config.Delta))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(snap.Config.KHat))
+	out = binary.LittleEndian.AppendUint32(out, uint32(snap.Config.K))
+	out = binary.LittleEndian.AppendUint64(out, snap.Config.Seed)
+	out = binary.LittleEndian.AppendUint64(out, snap.N)
+	out = binary.LittleEndian.AppendUint64(out, snap.Bound)
+	out = binary.LittleEndian.AppendUint64(out, snap.Config.N0)
+	out = codec.put(out, snap.Min)
+	out = codec.put(out, snap.Max)
+	out = binary.LittleEndian.AppendUint64(out, snap.RNG.Word)
+	out = binary.LittleEndian.AppendUint64(out, snap.RNG.Bits)
+	out = append(out, snap.RNG.NBits)
+	out = binary.LittleEndian.AppendUint64(out, snap.Stats.Compactions)
+	out = binary.LittleEndian.AppendUint64(out, snap.Stats.SpecialCompactions)
+	out = binary.LittleEndian.AppendUint64(out, snap.Stats.Growths)
+	out = binary.LittleEndian.AppendUint64(out, snap.Stats.Merges)
+	out = binary.LittleEndian.AppendUint64(out, snap.Stats.CoinFlips)
+	out = binary.LittleEndian.AppendUint32(out, uint32(snap.Stats.MaxBufferLen))
+	if len(snap.Levels) > 255 {
+		return nil, fmt.Errorf("req: %d levels cannot be encoded", len(snap.Levels))
+	}
+	out = append(out, byte(len(snap.Levels)))
+	for _, lv := range snap.Levels {
+		out = binary.LittleEndian.AppendUint64(out, lv.State)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(lv.Items)))
+		for _, v := range lv.Items {
+			out = codec.put(out, v)
+		}
+	}
+	return out, nil
+}
+
+// unmarshalSnapshot decodes bytes produced by marshalSnapshot. It never
+// panics on corrupt input.
+func unmarshalSnapshot[T any](data []byte, codec itemCodec[T]) (core.Snapshot[T], error) {
+	var snap core.Snapshot[T]
+	r := reader{buf: data}
+	var m [4]byte
+	if !r.bytes(m[:]) || m != magic {
+		return snap, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	version, ok := r.u8()
+	if !ok || version != formatVersion {
+		return snap, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, version)
+	}
+	itype, ok := r.u8()
+	if !ok || itype != codec.tag {
+		return snap, fmt.Errorf("%w: item type %d does not match sketch type", ErrCorrupt, itype)
+	}
+	mode, ok1 := r.u8()
+	sched, ok2 := r.u8()
+	flags, ok3 := r.u8()
+	if !ok1 || !ok2 || !ok3 {
+		return snap, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	snap.Config.Mode = core.Mode(mode)
+	snap.Config.Schedule = schedule.Kind(sched)
+	snap.Config.HRA = flags&1 != 0
+	snap.Config.PaperConstants = flags&2 != 0
+	snap.Config.DetCoin = flags&4 != 0
+	snap.HasMinMax = flags&8 != 0
+
+	okAll := true
+	getF := func() float64 {
+		v, ok := r.u64()
+		okAll = okAll && ok
+		return math.Float64frombits(v)
+	}
+	getU64 := func() uint64 {
+		v, ok := r.u64()
+		okAll = okAll && ok
+		return v
+	}
+	getU32 := func() uint32 {
+		v, ok := r.u32()
+		okAll = okAll && ok
+		return v
+	}
+	getItem := func() T {
+		v, ok := codec.get(&r)
+		okAll = okAll && ok
+		return v
+	}
+
+	snap.Config.Eps = getF()
+	snap.Config.Delta = getF()
+	snap.Config.KHat = getF()
+	snap.Config.K = int(getU32())
+	snap.Config.Seed = getU64()
+	snap.N = getU64()
+	snap.Bound = getU64()
+	snap.Config.N0 = getU64()
+	snap.Min = getItem()
+	snap.Max = getItem()
+	snap.RNG.Word = getU64()
+	snap.RNG.Bits = getU64()
+	nbits, ok := r.u8()
+	okAll = okAll && ok
+	snap.RNG.NBits = nbits
+	snap.Stats.Compactions = getU64()
+	snap.Stats.SpecialCompactions = getU64()
+	snap.Stats.Growths = getU64()
+	snap.Stats.Merges = getU64()
+	snap.Stats.CoinFlips = getU64()
+	snap.Stats.MaxBufferLen = int(getU32())
+	if !okAll {
+		return snap, fmt.Errorf("%w: truncated body", ErrCorrupt)
+	}
+	numLevels, ok := r.u8()
+	if !ok || numLevels == 0 {
+		return snap, fmt.Errorf("%w: missing levels", ErrCorrupt)
+	}
+	snap.Levels = make([]core.LevelSnapshot[T], numLevels)
+	for h := range snap.Levels {
+		state, ok1 := r.u64()
+		count, ok2 := r.u32()
+		if !ok1 || !ok2 || int(count) > maxDecodedLevelItems {
+			return snap, fmt.Errorf("%w: level %d header", ErrCorrupt, h)
+		}
+		if r.remaining() < int(count)*8 {
+			return snap, fmt.Errorf("%w: level %d items truncated", ErrCorrupt, h)
+		}
+		items := make([]T, count)
+		for i := range items {
+			items[i], _ = codec.get(&r)
+			if err := codec.validate(items[i]); err != nil {
+				return snap, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+		}
+		snap.Levels[h] = core.LevelSnapshot[T]{State: state, Items: items}
+	}
+	if r.remaining() != 0 {
+		return snap, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.remaining())
+	}
+	return snap, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *Float64) MarshalBinary() ([]byte, error) {
+	return marshalSnapshot(s.core.Snapshot(), float64Codec)
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing the
+// receiver's state. Corrupt input returns ErrCorrupt (wrapped with detail);
+// it never panics.
+func (s *Float64) UnmarshalBinary(data []byte) error {
+	snap, err := unmarshalSnapshot(data, float64Codec)
+	if err != nil {
+		return err
+	}
+	c, err := core.FromSnapshot(func(a, b float64) bool { return a < b }, snap)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	s.Sketch = Sketch[float64]{core: c}
+	return nil
+}
+
+// DecodeFloat64 allocates and decodes a sketch from its binary encoding.
+func DecodeFloat64(data []byte) (*Float64, error) {
+	var s Float64
+	if err := s.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *Uint64) MarshalBinary() ([]byte, error) {
+	return marshalSnapshot(s.core.Snapshot(), uint64Codec)
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler; see
+// Float64.UnmarshalBinary.
+func (s *Uint64) UnmarshalBinary(data []byte) error {
+	snap, err := unmarshalSnapshot(data, uint64Codec)
+	if err != nil {
+		return err
+	}
+	c, err := core.FromSnapshot(func(a, b uint64) bool { return a < b }, snap)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	s.Sketch = Sketch[uint64]{core: c}
+	return nil
+}
+
+// DecodeUint64 allocates and decodes a sketch from its binary encoding.
+func DecodeUint64(data []byte) (*Uint64, error) {
+	var s Uint64
+	if err := s.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// reader is a bounds-checked cursor over the encoded bytes.
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) remaining() int { return len(r.buf) - r.off }
+
+func (r *reader) bytes(dst []byte) bool {
+	if r.remaining() < len(dst) {
+		return false
+	}
+	copy(dst, r.buf[r.off:])
+	r.off += len(dst)
+	return true
+}
+
+func (r *reader) u8() (byte, bool) {
+	if r.remaining() < 1 {
+		return 0, false
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v, true
+}
+
+func (r *reader) u32() (uint32, bool) {
+	if r.remaining() < 4 {
+		return 0, false
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v, true
+}
+
+func (r *reader) u64() (uint64, bool) {
+	if r.remaining() < 8 {
+		return 0, false
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v, true
+}

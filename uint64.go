@@ -1,0 +1,26 @@
+package req
+
+// Uint64 is a sketch specialised to uint64 values — timestamps, byte
+// counts, identifiers with a meaningful order. Like Float64 it supports
+// binary serialization. Not safe for concurrent use.
+type Uint64 struct {
+	Sketch[uint64]
+}
+
+// NewUint64 returns an empty uint64 sketch configured by opts. Values
+// compare by the usual < order.
+func NewUint64(opts ...Option) (*Uint64, error) {
+	s, err := New(func(a, b uint64) bool { return a < b }, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Uint64{Sketch: *s}, nil
+}
+
+// Merge absorbs other into s; see Sketch.Merge.
+func (s *Uint64) Merge(other *Uint64) error {
+	if other == nil {
+		return nil
+	}
+	return s.Sketch.Merge(&other.Sketch)
+}
