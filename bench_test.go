@@ -108,6 +108,108 @@ func BenchmarkUpdateExpSampler(b *testing.B) {
 	}
 }
 
+// --- T1: concurrent ingestion throughput ---------------------------------------
+
+// concurrentIngester is the surface shared by the two thread-safe wrappers,
+// so one benchmark body covers both.
+type concurrentIngester interface {
+	Update(float64)
+	Quantile(float64) (float64, error)
+	Count() uint64
+}
+
+// benchParallelIngest hammers Update from every benchmark goroutine
+// (GOMAXPROCS of them by default; scale with -cpu 1,4,8).
+func benchParallelIngest(b *testing.B, s concurrentIngester) {
+	vals := benchValues(1<<16, 1)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			s.Update(vals[i&(1<<16-1)])
+			i++
+		}
+	})
+}
+
+func BenchmarkParallelIngestMutex(b *testing.B) {
+	s, err := NewConcurrentFloat64(WithEpsilon(0.01), WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchParallelIngest(b, s)
+}
+
+func BenchmarkParallelIngestSharded(b *testing.B) {
+	s, err := NewShardedFloat64(WithEpsilon(0.01), WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchParallelIngest(b, s)
+}
+
+// benchMixedReadWrite interleaves a quantile query and a count read into
+// the write stream every 256 operations per goroutine — the monitoring
+// pattern (heavy ingest, periodic scrape).
+func benchMixedReadWrite(b *testing.B, s concurrentIngester) {
+	vals := benchValues(1<<16, 1)
+	for i := 0; i < 1024; i++ {
+		s.Update(vals[i])
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i&255 == 255 {
+				if _, err := s.Quantile(0.99); err != nil {
+					b.Fatal(err)
+				}
+				_ = s.Count()
+			} else {
+				s.Update(vals[i&(1<<16-1)])
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkMixedReadWriteMutex(b *testing.B) {
+	s, err := NewConcurrentFloat64(WithEpsilon(0.01), WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchMixedReadWrite(b, s)
+}
+
+func BenchmarkMixedReadWriteSharded(b *testing.B) {
+	s, err := NewShardedFloat64(WithEpsilon(0.01), WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchMixedReadWrite(b, s)
+}
+
+// BenchmarkShardedSnapshot measures the cost of the lazy merged-snapshot
+// rebuild that a query pays after writes touched every shard.
+func BenchmarkShardedSnapshot(b *testing.B) {
+	s, err := NewShardedFloat64(WithEpsilon(0.01), WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := benchValues(1<<20, 2)
+	for _, v := range vals {
+		s.Update(v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Invalidate so every iteration pays one full rebuild.
+		s.Update(vals[i&(1<<20-1)])
+		if _, err := s.Quantile(0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- T1: query latency ---------------------------------------------------------
 
 func BenchmarkRankREQ(b *testing.B) {

@@ -5,15 +5,17 @@ import (
 )
 
 // ConcurrentFloat64 is a mutex-guarded Float64 sketch, safe for concurrent
-// use by multiple goroutines. Updates take an exclusive lock; queries take
-// a read lock but may still pay the one-time sorted-view construction under
-// contention-free semantics (the underlying view cache is rebuilt lazily
-// under the write lock via Freeze).
+// use by multiple goroutines. Updates take an exclusive lock. Queries take
+// only the shared (read) lock while the sketch is frozen (its cached
+// sorted view is materialized); the first query after a write re-freezes
+// the view and answers under one exclusive acquisition, so queries always
+// terminate even under a sustained write stream, and once frozen any
+// number of queries proceed in parallel without serializing each other.
 //
-// For write-heavy pipelines, sharding one plain sketch per goroutine and
-// merging at read time is usually faster than sharing one sketch; this
-// wrapper exists for the simple cases. See examples/distributed for the
-// sharded pattern.
+// For write-heavy pipelines the single mutex is the bottleneck; use Sharded
+// (or ShardedFloat64), which stripes writers across per-shard sketches and
+// merges at read time. This wrapper remains the right choice when updates
+// are rare or a single consistent sketch instance is required.
 type ConcurrentFloat64 struct {
 	mu sync.RWMutex
 	s  *Float64
@@ -59,19 +61,37 @@ func (c *ConcurrentFloat64) Rank(y float64) uint64 {
 	return c.s.Rank(y)
 }
 
-// Quantile returns the item at normalized rank phi. It takes the write
-// lock because the first quantile query after an update materialises the
-// cached sorted view.
+// Quantile returns the item at normalized rank phi. While the sketch is
+// frozen (no write since the last sorted query) it holds only the read
+// lock; otherwise it freezes the sorted view and answers under a single
+// exclusive acquisition.
 func (c *ConcurrentFloat64) Quantile(phi float64) (float64, error) {
+	c.mu.RLock()
+	if c.s.Frozen() {
+		q, err := c.s.Quantile(phi)
+		c.mu.RUnlock()
+		return q, err
+	}
+	c.mu.RUnlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.s.Freeze()
 	return c.s.Quantile(phi)
 }
 
-// Quantiles returns the items at each normalized rank.
+// Quantiles returns the items at each normalized rank; see Quantile for
+// the locking discipline.
 func (c *ConcurrentFloat64) Quantiles(phis []float64) ([]float64, error) {
+	c.mu.RLock()
+	if c.s.Frozen() {
+		qs, err := c.s.Quantiles(phis)
+		c.mu.RUnlock()
+		return qs, err
+	}
+	c.mu.RUnlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.s.Freeze()
 	return c.s.Quantiles(phis)
 }
 
@@ -103,19 +123,20 @@ func (c *ConcurrentFloat64) Merge(other *Float64) error {
 	return c.s.Merge(other)
 }
 
-// MarshalBinary serializes the wrapped sketch.
+// MarshalBinary serializes the wrapped sketch. Serialization reads the
+// state without modifying it, so the shared lock suffices.
 func (c *ConcurrentFloat64) MarshalBinary() ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.s.MarshalBinary()
 }
 
-// Snapshot returns an independent plain copy of the current state, useful
-// for lock-free querying of a frozen view.
+// Snapshot returns an independent deep copy of the current state, useful
+// for lock-free querying of a frozen view. The copy is made directly
+// (Float64.Clone) rather than through a serialization round-trip; it is
+// bit-for-bit equivalent to marshaling and decoding the sketch.
 func (c *ConcurrentFloat64) Snapshot() (*Float64, error) {
-	blob, err := c.MarshalBinary()
-	if err != nil {
-		return nil, err
-	}
-	return DecodeFloat64(blob)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.s.Clone(), nil
 }

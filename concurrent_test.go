@@ -1,9 +1,11 @@
 package req
 
 import (
+	"bytes"
 	"math"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestConcurrentBasic(t *testing.T) {
@@ -125,6 +127,90 @@ func TestConcurrentSnapshot(t *testing.T) {
 	}
 	if _, err := DecodeFloat64(blob); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestConcurrentQuantileUsesReadLock is the regression test for the old
+// behavior where Quantile/Quantiles took the exclusive lock: with the view
+// frozen, a query must complete while another reader holds the read lock.
+// Under the old code this deadlocks (the exclusive lock waits for the held
+// read lock), so the timeout failing means queries serialize readers again.
+func TestConcurrentQuantileUsesReadLock(t *testing.T) {
+	c, err := NewConcurrentFloat64(WithEpsilon(0.05), WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		c.Update(float64(i))
+	}
+	// Freeze the sorted view; from here queries are pure reads.
+	if _, err := c.Quantile(0.5); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	done := make(chan error, 1)
+	go func() {
+		if _, err := c.Quantile(0.5); err != nil {
+			done <- err
+			return
+		}
+		_, err := c.Quantiles([]float64{0.1, 0.9})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Quantile blocked while another goroutine held the read lock; queries must not take the exclusive lock")
+	}
+}
+
+// TestConcurrentSnapshotMatchesSerde pins the equivalence the old Snapshot
+// implementation provided by construction: the direct deep clone is
+// bit-for-bit the same sketch as a MarshalBinary/DecodeFloat64 round-trip.
+func TestConcurrentSnapshotMatchesSerde(t *testing.T) {
+	c, err := NewConcurrentFloat64(WithEpsilon(0.05), WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30000; i++ {
+		c.Update(float64(i % 1000))
+	}
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTripped, err := DecodeFloat64(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapBlob, err := snap.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtBlob, err := roundTripped.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snapBlob, rtBlob) {
+		t.Fatal("clone snapshot and serde round-trip encode differently")
+	}
+	// Both continuations stay identical: same rng state, same behavior.
+	for i := 0; i < 5000; i++ {
+		snap.Update(float64(i))
+		roundTripped.Update(float64(i))
+	}
+	a, _ := snap.MarshalBinary()
+	b, _ := roundTripped.MarshalBinary()
+	if !bytes.Equal(a, b) {
+		t.Fatal("clone and round-trip diverge on identical further input")
 	}
 }
 

@@ -62,6 +62,30 @@
 //   - WithK: fixed section size, like Apache DataSketches ReqSketch, for
 //     users who budget items instead of (ε, δ)
 //
-// Sketches are not safe for concurrent use; guard them with a mutex or
-// shard per goroutine and Merge.
+// # Concurrency
+//
+// Plain sketches are not safe for concurrent use. Two thread-safe wrappers
+// are provided:
+//
+//   - ConcurrentFloat64 guards one sketch with a read-write mutex. Queries
+//     take only the read lock (the sorted view is re-frozen under a brief
+//     exclusive lock when a write invalidated it), so read-mostly workloads
+//     do not serialize. Every writer still takes the exclusive lock.
+//
+//   - Sharded (and the ShardedFloat64 / ShardedUint64 convenience types)
+//     stripes writers across GOMAXPROCS-scaled per-shard sketches, each
+//     behind its own lock, and answers queries from a lazily rebuilt merged
+//     snapshot. By Theorem 3 the merge costs no accuracy, so this is the
+//     wrapper for write-heavy multi-writer ingestion.
+//
+//     s, _ := req.NewShardedFloat64(req.WithEpsilon(0.01))
+//     // any number of goroutines:
+//     s.Update(v)
+//     // any goroutine, any time:
+//     p99, _ := s.Quantile(0.99)
+//
+// Choose ConcurrentFloat64 when updates are rare or single-sketch
+// determinism matters; choose Sharded when many goroutines ingest hot
+// streams. Sharding per goroutine with plain sketches and merging manually
+// remains the fastest option when the application controls the goroutines.
 package req

@@ -1,10 +1,18 @@
 // Distributed aggregation: full mergeability in action (Theorem 3).
 //
-// Sixteen simulated workers each sketch their own shard of a dataset; the
-// shards are serialized (as they would be for a network hop), then merged
-// pairwise in a reduction tree. The merged sketch answers queries for the
-// full dataset within the same ε guarantee as a single-machine sketch —
-// that is the content of the paper's Appendix D.
+// Two deployments of the same idea, both resting on the paper's Appendix D
+// mergeability guarantee:
+//
+//  1. Cross-machine: sixteen simulated workers each sketch their own shard
+//     of a dataset; the shards are serialized (as they would be for a
+//     network hop), then merged pairwise in a reduction tree.
+//  2. In-process: the same dataset is ingested by concurrent goroutines
+//     through req.ShardedFloat64, which stripes writers across per-shard
+//     sketches and merges lazily at query time — the same merge machinery,
+//     applied inside one process instead of across machines.
+//
+// Both aggregates answer queries for the full dataset within the same ε
+// guarantee as a single-machine, single-goroutine sketch.
 //
 //	go run ./examples/distributed
 package main
@@ -12,7 +20,10 @@ package main
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"time"
 
 	"req"
 	"req/internal/rng"
@@ -31,6 +42,16 @@ func main() {
 	data := streams.LogNormal{Mu: 3, Sigma: 1.2}.Generate(total, rng.New(99))
 
 	fmt.Printf("dataset: %d values across %d workers\n", total, workers)
+
+	crossMachine(data)
+	inProcess(data)
+}
+
+// crossMachine simulates the serialize → ship → merge-tree pipeline.
+func crossMachine(data []float64) {
+	total := len(data)
+
+	fmt.Println("\n=== cross-machine: serialized shards, merge tree ===")
 
 	// Each worker sketches its shard independently (different seeds) and
 	// ships the serialized sketch.
@@ -83,21 +104,82 @@ func main() {
 	}
 	global := level[0]
 
-	fmt.Printf("\nglobal sketch: n=%d, retained=%d items\n\n", global.Count(), global.ItemsRetained())
+	fmt.Printf("\nglobal sketch: n=%d, retained=%d items\n", global.Count(), global.ItemsRetained())
+	report(data, global.Quantile)
+}
 
-	// Verify against the exact distribution.
-	sort.Float64s(data)
-	fmt.Println("quantile   merged-estimate   exact       rank error")
+// inProcess ingests the same dataset with concurrent goroutines through the
+// sharded wrapper and queries it while ingestion is still running.
+func inProcess(data []float64) {
+	fmt.Printf("\n=== in-process: %d goroutines into a sharded sketch ===\n", workers)
+
+	s, err := req.NewShardedFloat64(req.WithEpsilon(eps), req.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("shards: %d (GOMAXPROCS=%d)\n", s.NumShards(), runtime.GOMAXPROCS(0))
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(data); i += workers {
+				s.Update(data[i])
+			}
+		}(w)
+	}
+	// A monitoring goroutine scrapes mid-ingest: each answer is a
+	// consistent point-in-time snapshot of whatever has landed so far.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wg.Wait()
+	}()
+	ticker := time.NewTicker(250 * time.Millisecond)
+	defer ticker.Stop()
+	for alive := true; alive; {
+		select {
+		case <-done:
+			alive = false
+		case <-ticker.C:
+			if n := s.Count(); n > 0 {
+				p99, err := s.Quantile(0.99)
+				if err == nil {
+					fmt.Printf("mid-ingest scrape: n=%-9d p99≈%.3f\n", n, p99)
+				}
+			}
+		}
+	}
+
+	fmt.Printf("\nsharded sketch: n=%d, merged snapshot retains %d items\n",
+		s.Count(), s.ItemsRetained())
+	report(data, s.Quantile)
+
+	// The merged state is a plain sketch: serialize it and it joins the
+	// cross-machine pipeline above like any other worker's shard.
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("serialized merged snapshot: %d bytes\n", len(blob))
+}
+
+// report checks estimated quantiles against the exact distribution.
+func report(data []float64, quantile func(float64) (float64, error)) {
+	total := len(data)
+	sorted := append([]float64(nil), data...)
+	sort.Float64s(sorted)
+	fmt.Println("\nquantile   estimate          exact       rank error")
 	for _, phi := range []float64{0.01, 0.1, 0.5, 0.9, 0.99, 0.999} {
-		est, err := global.Quantile(phi)
+		est, err := quantile(phi)
 		if err != nil {
 			panic(err)
 		}
-		exact := data[int(math.Ceil(phi*float64(total)))-1]
-		trueRank := float64(sort.SearchFloat64s(data, math.Nextafter(est, math.Inf(1))))
+		exact := sorted[int(math.Ceil(phi*float64(total)))-1]
+		trueRank := float64(sort.SearchFloat64s(sorted, math.Nextafter(est, math.Inf(1))))
 		rel := math.Abs(trueRank-phi*float64(total)) / (phi * float64(total))
 		fmt.Printf("  p%-7.2f %-17.3f %-11.3f %.5f\n", phi*100, est, exact, rel)
 	}
-	fmt.Printf("\nevery rank error above should sit within ε = %v — the merged sketch is\n", eps)
-	fmt.Println("as good as if one machine had seen the whole stream.")
+	fmt.Printf("\nevery rank error above should sit within ε = %v\n", eps)
 }

@@ -37,6 +37,11 @@ func (s *Float64) UpdateAll(vs []float64) {
 	}
 }
 
+// Clone returns a deep copy of the sketch; see Sketch.Clone.
+func (s *Float64) Clone() *Float64 {
+	return &Float64{Sketch: *s.Sketch.Clone()}
+}
+
 // Merge absorbs other into s; see Sketch.Merge.
 func (s *Float64) Merge(other *Float64) error {
 	if other == nil {

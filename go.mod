@@ -1,0 +1,3 @@
+module req
+
+go 1.24

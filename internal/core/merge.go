@@ -59,7 +59,7 @@ func (s *Sketch[T]) Merge(other *Sketch[T]) error {
 	s.view = nil
 	if s.n == 0 {
 		// Adopt a deep copy of other wholesale, keeping s's seed identity.
-		c := other.clone()
+		c := other.Clone()
 		c.rnd = s.rnd
 		c.cfg.Seed = s.cfg.Seed
 		*s = *c
@@ -74,7 +74,7 @@ func (s *Sketch[T]) Merge(other *Sketch[T]) error {
 	// to mutate; the final state is copied into s.
 	var m, src *Sketch[T]
 	if len(other.levels) > len(s.levels) {
-		m = other.clone()
+		m = other.Clone()
 		// The merged sketch continues s's random stream so that a caller
 		// holding s sees deterministic behaviour under a fixed seed.
 		m.rnd = s.rnd
@@ -110,7 +110,7 @@ func (s *Sketch[T]) Merge(other *Sketch[T]) error {
 			}
 		}
 		if needsSpecial {
-			src = src.clone()
+			src = src.Clone()
 			src.rnd = m.rnd
 			for h := 0; h < len(src.levels)-1; h++ {
 				src.specialCompactLevel(h)

@@ -117,6 +117,12 @@ type Config struct {
 	// N0 overrides the initial stream-length bound. Zero means automatic:
 	// the smallest power of two admitting the initial geometry.
 	N0 uint64
+
+	// Shards fixes the shard count of the sharded concurrent wrapper built
+	// in the root package. Zero means automatic (GOMAXPROCS-scaled). The
+	// core engine itself ignores it — one core.Sketch is always a single
+	// unsharded instance — and it does not affect merge compatibility.
+	Shards int
 }
 
 // Normalize validates cfg and fills defaults in place.
@@ -155,6 +161,9 @@ func (c *Config) Normalize() error {
 	}
 	if c.N0 != 0 && c.N0&(c.N0-1) != 0 {
 		return errors.New("core: N0 must be a power of two")
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("core: shard count %d must be non-negative", c.Shards)
 	}
 	return nil
 }

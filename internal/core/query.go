@@ -139,6 +139,12 @@ type View[T any] struct {
 	max   T
 }
 
+// Frozen reports whether the cached sorted view is materialized, i.e.
+// whether quantile/CDF queries are currently pure reads. Updates and merges
+// un-freeze the sketch; SortedView (or the root package's Freeze) freezes
+// it again.
+func (s *Sketch[T]) Frozen() bool { return s.view != nil }
+
 // SortedView materializes (and caches) the sorted weighted view.
 func (s *Sketch[T]) SortedView() *View[T] {
 	if s.view != nil {

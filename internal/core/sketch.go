@@ -301,9 +301,12 @@ func (s *Sketch[T]) Reset() {
 	s.stats = Stats{}
 }
 
-// clone returns a deep copy of the sketch sharing nothing with s. The
-// clone's random source continues s's stream (state copied).
-func (s *Sketch[T]) clone() *Sketch[T] {
+// Clone returns a deep copy of the sketch sharing no mutable state with s.
+// The clone's random source continues s's stream (state copied), so the
+// clone and the original behave bit-for-bit identically on identical
+// subsequent input. The cached sorted view is not carried over; the clone
+// rebuilds it on first query. Clone is a read-only operation on s.
+func (s *Sketch[T]) Clone() *Sketch[T] {
 	c := *s
 	c.rnd = rng.New(0)
 	c.rnd.Restore(s.rnd.State())

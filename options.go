@@ -86,6 +86,21 @@ func WithHighRankAccuracy() Option {
 	}
 }
 
+// WithShards fixes the shard count of a Sharded sketch (it is rounded up
+// to a power of two internally). The default, also selected by n = 0, is
+// automatic GOMAXPROCS-based scaling. More shards reduce writer contention
+// at the cost of a slightly larger merged read snapshot. Plain (unsharded)
+// sketches ignore this option.
+func WithShards(n int) Option {
+	return func(c *core.Config) error {
+		if n < 0 {
+			return fmt.Errorf("req: shard count %d must be non-negative", n)
+		}
+		c.Shards = n
+		return nil
+	}
+}
+
 // WithSeed fixes the seed of the sketch's internal random source, making
 // runs bit-for-bit reproducible. Two sketches with the same seed, options,
 // and input are identical.

@@ -137,6 +137,25 @@ func (s *Sketch[T]) Retained() []WeightedItem[T] {
 	return out
 }
 
+// Clone returns a deep copy of the sketch sharing no mutable state with s.
+// The clone continues the original's random stream, so clone and original
+// behave identically on identical subsequent input. Cloning is the cheap
+// path to a frozen queryable snapshot of a live sketch (no serialization
+// round-trip involved).
+func (s *Sketch[T]) Clone() *Sketch[T] {
+	return &Sketch[T]{core: s.core.Clone()}
+}
+
+// Freeze materializes the cached sorted view so that subsequent Quantile,
+// Quantiles, CDF and PMF calls are pure reads until the next update or
+// merge. Concurrent wrappers use it to answer quantile queries under a
+// shared (read) lock.
+func (s *Sketch[T]) Freeze() { s.core.SortedView() }
+
+// Frozen reports whether the cached sorted view is currently materialized
+// (no update or merge has happened since the last Freeze or sorted query).
+func (s *Sketch[T]) Frozen() bool { return s.core.Frozen() }
+
 // Reset empties the sketch in place, keeping its configuration (and
 // continuing its random stream). Useful for pooling sketches across
 // aggregation windows.

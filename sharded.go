@@ -1,0 +1,425 @@
+package req
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"req/internal/core"
+)
+
+// Sharded is a concurrent sketch built for write-heavy, multi-writer
+// workloads. Instead of funneling every writer through one mutex (the
+// ConcurrentFloat64 design), it stripes updates across a GOMAXPROCS-scaled
+// set of independent core sketches, each behind its own lock, and answers
+// queries from a merged snapshot that is rebuilt lazily when a query
+// observes that a shard has changed.
+//
+// Correctness rests on the paper's full mergeability (Theorem 3, Appendix
+// D): a stream split arbitrarily across shards and merged at read time
+// carries the same ε relative-error guarantee as a single sketch that saw
+// the whole stream, so sharding costs no accuracy.
+//
+// Writers pick a shard by a striping ticket and fall through to the first
+// uncontended shard (try-lock sweep), so concurrent writers almost never
+// wait on each other. Queries almost never block writers: a query touches
+// the shard locks only when the cached snapshot is stale (epoch mismatch),
+// and then holds each shard's lock just long enough to clone it — a writer
+// can stall for at most one O(retained-items) shard copy, never for the
+// merge or sort, which happen off to the side before the result is
+// published through an atomic pointer. Read-heavy phases run entirely on
+// the immutable published snapshot.
+//
+// Queries are point-in-time consistent: every answer is computed from one
+// merged snapshot. Under concurrent ingestion a snapshot may trail the
+// newest updates by the writes that landed while it was being built; Count
+// alone is served from live per-shard counters and may run slightly ahead
+// of the snapshot.
+type Sharded[T any] struct {
+	less   func(a, b T) bool
+	shards []*shardOf[T]
+	mask   uint64 // len(shards) is a power of two
+
+	// affinity hands each writer back the shard it used last (sync.Pool is
+	// per-P, so a goroutine keeps hitting one cache-hot shard); the ticket
+	// seeds new affinities round-robin and backs the try-lock slow path.
+	affinity sync.Pool
+	ticket   atomic.Uint64
+
+	// snap is the published merged snapshot; nil until the first query.
+	snap atomic.Pointer[shardedSnapshot[T]]
+	// rebuildMu serializes snapshot rebuilds so racing queries do the
+	// clone-and-merge work once.
+	rebuildMu sync.Mutex
+}
+
+// shardOf is one stripe: a plain core sketch behind a mutex, plus lock-free
+// mirrors of its mutation count and item count for staleness checks and
+// cheap Count queries. The padding keeps the hot per-shard atomics of
+// neighbouring shards on distinct cache lines.
+type shardOf[T any] struct {
+	mu sync.Mutex
+	sk *core.Sketch[T]
+	// version counts mutations (updates, merges, resets); bumped under mu,
+	// read without it by the snapshot staleness check.
+	version atomic.Uint64
+	// count mirrors sk.Count(); maintained under mu, read without it.
+	count atomic.Uint64
+	_     [40]byte
+}
+
+// shardedSnapshot is an immutable published view: the merged sketch (with
+// its sorted view frozen) plus the per-shard versions observed before the
+// merge. A snapshot is fresh while every shard still has its recorded
+// version.
+type shardedSnapshot[T any] struct {
+	epochs []uint64
+	sk     *core.Sketch[T]
+}
+
+// shardedSeedStride separates the per-shard random streams; any odd
+// constant works, this is the golden-ratio mix used by splitmix64.
+const shardedSeedStride = 0x9E3779B97F4A7C15
+
+// NewSharded returns an empty sharded sketch over the strict order less,
+// configured by opts. The shard count defaults to the number of CPUs
+// (rounded up to a power of two) and can be fixed with WithShards. All
+// shards share the configuration; their random streams are decorrelated by
+// deriving each shard's seed from the configured one.
+func NewSharded[T any](less func(a, b T) bool, opts ...Option) (*Sharded[T], error) {
+	s := &Sharded[T]{}
+	if err := s.init(less, opts); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// init builds the shard set in place (the containing struct must not be
+// copied afterwards; constructors return pointers).
+func (s *Sharded[T]) init(less func(a, b T) bool, opts []Option) error {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return err
+	}
+	if err := cfg.Normalize(); err != nil {
+		return err
+	}
+	n := cfg.Shards
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	n = int(core.CeilPow2(uint64(n)))
+	s.less = less
+	s.mask = uint64(n - 1)
+	s.shards = make([]*shardOf[T], n)
+	for i := range s.shards {
+		scfg := cfg
+		scfg.Seed = cfg.Seed + uint64(i)*shardedSeedStride
+		sk, err := core.New(less, scfg)
+		if err != nil {
+			return err
+		}
+		s.shards[i] = &shardOf[T]{sk: sk}
+	}
+	return nil
+}
+
+// NumShards returns the number of stripes.
+func (s *Sharded[T]) NumShards() int { return len(s.shards) }
+
+// writeShard picks and locks the shard for this write. Fast path: the
+// writer's affinity shard (per-P via sync.Pool), which is usually both
+// uncontended and cache-hot. If that shard is busy, a try-lock sweep from
+// a round-robin ticket finds a free shard; only when every shard is busy
+// does the writer block. commitLocked returns the shard to the pool.
+func (s *Sharded[T]) writeShard() *shardOf[T] {
+	if v := s.affinity.Get(); v != nil {
+		sh := v.(*shardOf[T])
+		if sh.mu.TryLock() {
+			return sh
+		}
+	}
+	t := s.ticket.Add(1)
+	for i := uint64(0); i <= s.mask; i++ {
+		sh := s.shards[(t+i)&s.mask]
+		if sh.mu.TryLock() {
+			return sh
+		}
+	}
+	sh := s.shards[t&s.mask]
+	sh.mu.Lock()
+	return sh
+}
+
+// commitLocked records a mutation on sh, releases its lock, and restores
+// the caller's affinity to it.
+func (s *Sharded[T]) commitLocked(sh *shardOf[T]) {
+	sh.count.Store(sh.sk.Count())
+	sh.version.Add(1)
+	sh.mu.Unlock()
+	s.affinity.Put(sh)
+}
+
+// Update inserts one item. Safe for any number of concurrent callers.
+func (s *Sharded[T]) Update(x T) {
+	sh := s.writeShard()
+	sh.sk.Update(x)
+	s.commitLocked(sh)
+}
+
+// UpdateAll inserts every item of the slice into a single shard under one
+// lock acquisition.
+func (s *Sharded[T]) UpdateAll(items []T) {
+	if len(items) == 0 {
+		return
+	}
+	sh := s.writeShard()
+	for _, x := range items {
+		sh.sk.Update(x)
+	}
+	s.commitLocked(sh)
+}
+
+// UpdateWeighted inserts item with the given integer weight; see
+// Sketch.UpdateWeighted.
+func (s *Sharded[T]) UpdateWeighted(item T, weight uint64) error {
+	sh := s.writeShard()
+	err := sh.sk.UpdateWeighted(item, weight)
+	s.commitLocked(sh)
+	return err
+}
+
+// Merge absorbs a plain sketch into one shard. The other sketch is not
+// modified; it must have been built with compatible options.
+func (s *Sharded[T]) Merge(other *Sketch[T]) error {
+	if other == nil {
+		return nil
+	}
+	sh := s.writeShard()
+	err := sh.sk.Merge(other.core)
+	s.commitLocked(sh)
+	return err
+}
+
+// Count returns the total number of items summarised across all shards,
+// from lock-free per-shard counters.
+func (s *Sharded[T]) Count() uint64 {
+	var n uint64
+	for _, sh := range s.shards {
+		n += sh.count.Load()
+	}
+	return n
+}
+
+// Empty reports whether no shard has seen an item.
+func (s *Sharded[T]) Empty() bool { return s.Count() == 0 }
+
+// Reset empties every shard in place and drops the published snapshot.
+// Concurrent writers may interleave with a Reset shard-by-shard; quiesce
+// writers first if an atomic clear is required.
+func (s *Sharded[T]) Reset() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.sk.Reset()
+		sh.count.Store(0)
+		sh.version.Add(1)
+		sh.mu.Unlock()
+	}
+	s.snap.Store(nil)
+}
+
+// fresh reports whether sn still reflects every shard.
+func (s *Sharded[T]) fresh(sn *shardedSnapshot[T]) bool {
+	for i, sh := range s.shards {
+		if sh.version.Load() != sn.epochs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// snapshot returns a fresh published snapshot, rebuilding it if any shard
+// changed since the last build. The rebuild clones each shard under its
+// lock (a read-only operation on the shard apart from the brief lock hold),
+// merges the clones privately, freezes the sorted view, and publishes.
+func (s *Sharded[T]) snapshot() *shardedSnapshot[T] {
+	if sn := s.snap.Load(); sn != nil && s.fresh(sn) {
+		return sn
+	}
+	s.rebuildMu.Lock()
+	defer s.rebuildMu.Unlock()
+	if sn := s.snap.Load(); sn != nil && s.fresh(sn) {
+		return sn
+	}
+	// Record epochs before cloning: a write that lands mid-build makes this
+	// snapshot stale (conservatively), never silently lost.
+	epochs := make([]uint64, len(s.shards))
+	for i, sh := range s.shards {
+		epochs[i] = sh.version.Load()
+	}
+	var merged *core.Sketch[T]
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		c := sh.sk.Clone()
+		sh.mu.Unlock()
+		if merged == nil {
+			merged = c
+		} else {
+			// Cannot fail: every shard shares one normalized config and the
+			// clones are distinct instances.
+			_ = merged.Merge(c)
+		}
+	}
+	merged.SortedView() // freeze: queries on the snapshot are pure reads
+	sn := &shardedSnapshot[T]{epochs: epochs, sk: merged}
+	s.snap.Store(sn)
+	return sn
+}
+
+// Min returns the smallest item seen as of the current snapshot. ok is
+// false when empty.
+func (s *Sharded[T]) Min() (item T, ok bool) { return s.snapshot().sk.Min() }
+
+// Max returns the largest item seen as of the current snapshot. ok is
+// false when empty.
+func (s *Sharded[T]) Max() (item T, ok bool) { return s.snapshot().sk.Max() }
+
+// Rank returns the estimated inclusive rank of y; see Sketch.Rank.
+func (s *Sharded[T]) Rank(y T) uint64 { return s.snapshot().sk.Rank(y) }
+
+// RankExclusive returns the estimated exclusive rank of y.
+func (s *Sharded[T]) RankExclusive(y T) uint64 { return s.snapshot().sk.RankExclusive(y) }
+
+// NormalizedRank returns Rank(y)/Count() in [0, 1], both evaluated on one
+// snapshot.
+func (s *Sharded[T]) NormalizedRank(y T) float64 { return s.snapshot().sk.NormalizedRank(y) }
+
+// Quantile returns the item at normalized rank phi; see Sketch.Quantile.
+func (s *Sharded[T]) Quantile(phi float64) (T, error) { return s.snapshot().sk.Quantile(phi) }
+
+// Quantiles returns the items at each normalized rank, all answered from
+// one snapshot.
+func (s *Sharded[T]) Quantiles(phis []float64) ([]T, error) { return s.snapshot().sk.Quantiles(phis) }
+
+// CDF returns the estimated normalized ranks at each ascending split point;
+// see Sketch.CDF.
+func (s *Sharded[T]) CDF(splits []T) ([]float64, error) { return s.snapshot().sk.CDF(splits) }
+
+// PMF returns the estimated probability mass of each interval delimited by
+// the ascending split points; see Sketch.PMF.
+func (s *Sharded[T]) PMF(splits []T) ([]float64, error) { return s.snapshot().sk.PMF(splits) }
+
+// ItemsRetained returns the item footprint of the merged snapshot (the
+// size a query works against). The live per-shard footprint is at most a
+// shard count factor larger before merging compacts it.
+func (s *Sharded[T]) ItemsRetained() int { return s.snapshot().sk.ItemsRetained() }
+
+// Snapshot returns an independent plain sketch summarising everything
+// ingested so far, for lock-free querying, serialization, or shipping to
+// an aggregator.
+func (s *Sharded[T]) Snapshot() *Sketch[T] {
+	return &Sketch[T]{core: s.snapshot().sk.Clone()}
+}
+
+// ShardedFloat64 is a Sharded sketch specialised to float64 values: the
+// drop-in high-throughput replacement for ConcurrentFloat64. It adds NaN
+// filtering and binary serialization.
+type ShardedFloat64 struct {
+	Sharded[float64]
+}
+
+// NewShardedFloat64 returns an empty sharded float64 sketch configured by
+// opts.
+func NewShardedFloat64(opts ...Option) (*ShardedFloat64, error) {
+	s := &ShardedFloat64{}
+	if err := s.init(func(a, b float64) bool { return a < b }, opts); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Update inserts one value, ignoring NaNs; ±Inf behave as extreme values.
+func (s *ShardedFloat64) Update(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	s.Sharded.Update(v)
+}
+
+// UpdateAll inserts every value of the slice into a single shard, skipping
+// NaNs.
+func (s *ShardedFloat64) UpdateAll(vs []float64) {
+	clean := vs
+	for i, v := range vs {
+		if math.IsNaN(v) {
+			// First NaN found: fall back to a filtered copy.
+			clean = make([]float64, 0, len(vs)-1)
+			clean = append(clean, vs[:i]...)
+			for _, w := range vs[i+1:] {
+				if !math.IsNaN(w) {
+					clean = append(clean, w)
+				}
+			}
+			break
+		}
+	}
+	s.Sharded.UpdateAll(clean)
+}
+
+// Merge absorbs a plain float64 sketch into one shard.
+func (s *ShardedFloat64) Merge(other *Float64) error {
+	if other == nil {
+		return nil
+	}
+	return s.Sharded.Merge(&other.Sketch)
+}
+
+// Snapshot returns an independent plain copy of the merged current state.
+func (s *ShardedFloat64) Snapshot() *Float64 {
+	return &Float64{Sketch: *s.Sharded.Snapshot()}
+}
+
+// MarshalBinary serializes the merged current state in the same format as
+// Float64.MarshalBinary; decode with DecodeFloat64. It encodes the
+// published snapshot directly (core.Sketch.Snapshot is a pure read of the
+// immutable merged sketch), avoiding Snapshot's deep copy.
+func (s *ShardedFloat64) MarshalBinary() ([]byte, error) {
+	return marshalSnapshot(s.Sharded.snapshot().sk.Snapshot(), float64Codec)
+}
+
+// ShardedUint64 is a Sharded sketch specialised to uint64 values, with
+// binary serialization.
+type ShardedUint64 struct {
+	Sharded[uint64]
+}
+
+// NewShardedUint64 returns an empty sharded uint64 sketch configured by
+// opts.
+func NewShardedUint64(opts ...Option) (*ShardedUint64, error) {
+	s := &ShardedUint64{}
+	if err := s.init(func(a, b uint64) bool { return a < b }, opts); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Merge absorbs a plain uint64 sketch into one shard.
+func (s *ShardedUint64) Merge(other *Uint64) error {
+	if other == nil {
+		return nil
+	}
+	return s.Sharded.Merge(&other.Sketch)
+}
+
+// Snapshot returns an independent plain copy of the merged current state.
+func (s *ShardedUint64) Snapshot() *Uint64 {
+	return &Uint64{Sketch: *s.Sharded.Snapshot()}
+}
+
+// MarshalBinary serializes the merged current state in the same format as
+// Uint64.MarshalBinary; decode with DecodeUint64. Like the float64
+// variant, it encodes the published snapshot without an extra deep copy.
+func (s *ShardedUint64) MarshalBinary() ([]byte, error) {
+	return marshalSnapshot(s.Sharded.snapshot().sk.Snapshot(), uint64Codec)
+}

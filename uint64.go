@@ -17,6 +17,11 @@ func NewUint64(opts ...Option) (*Uint64, error) {
 	return &Uint64{Sketch: *s}, nil
 }
 
+// Clone returns a deep copy of the sketch; see Sketch.Clone.
+func (s *Uint64) Clone() *Uint64 {
+	return &Uint64{Sketch: *s.Sketch.Clone()}
+}
+
 // Merge absorbs other into s; see Sketch.Merge.
 func (s *Uint64) Merge(other *Uint64) error {
 	if other == nil {
