@@ -66,6 +66,45 @@ func BenchmarkUpdateREQHRA(b *testing.B) {
 	}
 }
 
+// BenchmarkUpdateBatchREQ measures batch ingest normalized per item, so
+// ns/op compares directly against BenchmarkUpdateREQ's per-item path.
+func BenchmarkUpdateBatchREQ(b *testing.B) {
+	for _, size := range []int{64, 4096} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			vals := benchValues(size, 1)
+			s, err := NewFloat64(WithEpsilon(0.01), WithSeed(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += size {
+				s.UpdateBatch(vals)
+			}
+		})
+	}
+}
+
+// BenchmarkParallelIngestShardedBatch is the sharded writer path fed in
+// 512-value batches per lock acquisition.
+func BenchmarkParallelIngestShardedBatch(b *testing.B) {
+	s, err := NewShardedFloat64(WithEpsilon(0.01), WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const size = 512
+	vals := benchValues(size, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for i := 0; pb.Next(); i++ {
+			if i%size == 0 {
+				s.UpdateBatch(vals)
+			}
+		}
+	})
+}
+
 func BenchmarkUpdateKLL(b *testing.B) {
 	vals := benchValues(1<<16, 1)
 	s := kll.New(kll.KForEpsilon(0.01), 1)
@@ -216,6 +255,23 @@ func BenchmarkRankREQ(b *testing.B) {
 	s, _ := NewFloat64(WithEpsilon(0.01), WithSeed(1))
 	s.UpdateAll(benchValues(1<<20, 2))
 	qs := benchValues(1024, 3)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Rank(qs[i&1023])
+	}
+	_ = sink
+}
+
+// BenchmarkRankFrozenREQ measures rank queries on a quiesced (frozen)
+// sketch: Rank routes through the cached sorted view, so each query is two
+// binary searches instead of any per-level work.
+func BenchmarkRankFrozenREQ(b *testing.B) {
+	s, _ := NewFloat64(WithEpsilon(0.01), WithSeed(1))
+	s.UpdateAll(benchValues(1<<20, 2))
+	s.Freeze()
+	qs := benchValues(1024, 3)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var sink uint64
 	for i := 0; i < b.N; i++ {

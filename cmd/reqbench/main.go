@@ -18,6 +18,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 
 	"req/internal/harness"
@@ -30,8 +31,21 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "master random seed")
 		outDir     = flag.String("out", "", "directory for per-experiment .txt reports (optional)")
 		list       = flag.Bool("list", false, "list available experiments and exit")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		profileOut = f
+		defer stopProfile()
+	}
 
 	if *list {
 		for _, e := range harness.All() {
@@ -47,6 +61,7 @@ func main() {
 	} else {
 		e, ok := harness.Get(*experiment)
 		if !ok {
+			stopProfile()
 			fmt.Fprintf(os.Stderr, "reqbench: unknown experiment %q (use -list)\n", *experiment)
 			os.Exit(2)
 		}
@@ -77,7 +92,20 @@ func main() {
 	}
 }
 
+// profileOut is the open -cpuprofile file, if any; fatal must flush it
+// because os.Exit bypasses deferred calls.
+var profileOut *os.File
+
+func stopProfile() {
+	if profileOut != nil {
+		pprof.StopCPUProfile()
+		profileOut.Close()
+		profileOut = nil
+	}
+}
+
 func fatal(err error) {
+	stopProfile()
 	fmt.Fprintf(os.Stderr, "reqbench: %v\n", err)
 	os.Exit(1)
 }

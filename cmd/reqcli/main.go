@@ -47,12 +47,14 @@ func main() {
 	}
 
 	if *demo > 0 {
-		for _, v := range (streams.Latency{}).Generate(*demo, rng.New(*seed)) {
-			sk.Update(v)
-		}
+		sk.UpdateBatch((streams.Latency{}).Generate(*demo, rng.New(*seed)))
 	} else {
+		// Parse into a fixed-size buffer and flush through the batch ingest
+		// path: one bound check and compaction cascade per 4096 values
+		// instead of per line.
 		scanner := bufio.NewScanner(os.Stdin)
 		scanner.Buffer(make([]byte, 1<<20), 1<<20)
+		batch := make([]float64, 0, 4096)
 		line := 0
 		for scanner.Scan() {
 			line++
@@ -65,11 +67,16 @@ func main() {
 				fmt.Fprintf(os.Stderr, "reqcli: line %d: %v (skipped)\n", line, err)
 				continue
 			}
-			sk.Update(v)
+			batch = append(batch, v)
+			if len(batch) == cap(batch) {
+				sk.UpdateBatch(batch)
+				batch = batch[:0]
+			}
 		}
 		if err := scanner.Err(); err != nil {
 			fatal(err)
 		}
+		sk.UpdateBatch(batch)
 	}
 
 	if sk.Empty() {

@@ -37,11 +37,20 @@ func (c *ConcurrentFloat64) Update(v float64) {
 	c.mu.Unlock()
 }
 
-// UpdateAll inserts every value of the slice under one lock acquisition.
-func (c *ConcurrentFloat64) UpdateAll(vs []float64) {
+// UpdateBatch inserts every value of the slice under one lock acquisition,
+// through the batch ingest path (NaNs skipped). Batching is doubly valuable
+// here: it amortizes both the sketch-internal bookkeeping and the mutex
+// traffic other writers and readers contend on.
+func (c *ConcurrentFloat64) UpdateBatch(vs []float64) {
 	c.mu.Lock()
-	c.s.UpdateAll(vs)
+	c.s.UpdateBatch(vs)
 	c.mu.Unlock()
+}
+
+// UpdateAll inserts every value of the slice under one lock acquisition.
+// It is the batch ingest path; UpdateAll and UpdateBatch are synonyms.
+func (c *ConcurrentFloat64) UpdateAll(vs []float64) {
+	c.UpdateBatch(vs)
 }
 
 // Count returns the number of values summarised.

@@ -62,6 +62,26 @@
 //   - WithK: fixed section size, like Apache DataSketches ReqSketch, for
 //     users who budget items instead of (ε, δ)
 //
+// # Performance: sorted compactors and batch ingest
+//
+// Internally every compactor buffer is kept sorted (level 0 carries a small
+// unsorted append tail that is sorted and merged in at compaction time), so
+// compaction is merge-based — no buffer is ever fully re-sorted — and the
+// amortized update cost is O(log(1/ε)) comparisons, following Ivkin et al.,
+// "Streaming Quantiles Algorithms with Small Space and Update Time" (2019).
+// Rank queries binary-search each level; quantile queries binary-search a
+// cached sorted view built by a k-way merge of the levels. The view is
+// invalidated by writes and rebuilt lazily; on a frozen sketch both rank
+// and quantile queries are pure O(log size) reads.
+//
+// When values arrive in slices, prefer UpdateBatch over per-item Update: it
+// amortizes min/max tracking, view invalidation, stream-length bound checks
+// and compaction cascades across the batch (and, on the concurrent
+// wrappers, the lock traffic too). Batch and per-item ingest produce
+// bit-identical sketches unless a stream-length growth lands mid-batch;
+// then the bound is raised once for the whole chunk, which preserves the
+// accuracy guarantee but may retain a slightly different coreset.
+//
 // # Concurrency
 //
 // Plain sketches are not safe for concurrent use. Two thread-safe wrappers

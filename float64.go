@@ -2,6 +2,8 @@ package req
 
 import (
 	"math"
+
+	"req/internal/core"
 )
 
 // Float64 is a sketch specialised to float64 values, the common case for
@@ -30,11 +32,17 @@ func (s *Float64) Update(v float64) {
 	s.Sketch.Update(v)
 }
 
-// UpdateAll inserts every value of the slice, skipping NaNs.
+// UpdateBatch inserts every value of the slice through the batch ingest
+// path, skipping NaNs; see Sketch.UpdateBatch. The slice is copied only if
+// it contains a NaN.
+func (s *Float64) UpdateBatch(vs []float64) {
+	s.Sketch.UpdateBatch(core.FilterNaN(vs))
+}
+
+// UpdateAll inserts every value of the slice, skipping NaNs. It is the
+// batch ingest path; UpdateAll and UpdateBatch are synonyms.
 func (s *Float64) UpdateAll(vs []float64) {
-	for _, v := range vs {
-		s.Update(v)
-	}
+	s.UpdateBatch(vs)
 }
 
 // Clone returns a deep copy of the sketch; see Sketch.Clone.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"req/internal/rng"
@@ -19,9 +20,48 @@ func BenchmarkCoreUpdate(b *testing.B) {
 	for i := range vals {
 		vals[i] = r.Float64()
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Update(vals[i&(1<<16-1)])
+	}
+}
+
+// BenchmarkCoreUpdateBatch reports per-item cost of the batch ingest path
+// (compare against BenchmarkCoreUpdate).
+func BenchmarkCoreUpdateBatch(b *testing.B) {
+	for _, size := range []int{64, 4096} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			s, err := New(fless, Config{Eps: 0.01, Delta: 0.01, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := rng.New(2)
+			vals := make([]float64, size)
+			for i := range vals {
+				vals[i] = r.Float64()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += size {
+				s.UpdateBatch(vals)
+			}
+		})
+	}
+}
+
+// BenchmarkCoreUpdateSortedStream feeds an ascending stream: the sorted-
+// prefix extension keeps level 0 settle-free, the best case for the merge-
+// based compactor.
+func BenchmarkCoreUpdateSortedStream(b *testing.B) {
+	s, err := New(fless, Config{Eps: 0.01, Delta: 0.01, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Update(float64(i))
 	}
 }
 
@@ -52,6 +92,28 @@ func BenchmarkCoreRankScan(b *testing.B) {
 	for i := 0; i < 1<<20; i++ {
 		s.Update(r.Float64())
 	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Rank(float64(i&1023) / 1024)
+	}
+	_ = sink
+}
+
+// BenchmarkCoreRankFrozen ranks on a frozen sketch: the cached-view fast
+// path (two binary searches, no per-level work).
+func BenchmarkCoreRankFrozen(b *testing.B) {
+	s, err := New(fless, Config{Eps: 0.01, Delta: 0.01, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	for i := 0; i < 1<<20; i++ {
+		s.Update(r.Float64())
+	}
+	s.SortedView()
+	b.ReportAllocs()
 	b.ResetTimer()
 	var sink uint64
 	for i := 0; i < b.N; i++ {

@@ -21,7 +21,9 @@ import (
 //  5. min/max presence tracks emptiness;
 //  6. the bound dominates the count: N ≥ n;
 //  7. level count obeys Observation 13 (≤ ⌈log₂(n/(B/2))⌉ + 2, the slack
-//     covering geometry changes across growths).
+//     covering geometry changes across growths);
+//  8. the sorted-compactor invariant: 0 ≤ sorted ≤ len(buf) and
+//     buf[:sorted] is sorted under the internal order at every level.
 func (s *Sketch[T]) CheckInvariants() error {
 	g := s.geom
 	if g.b != 2*g.k*g.nsec {
@@ -39,6 +41,11 @@ func (s *Sketch[T]) CheckInvariants() error {
 		weight += uint64(blen) << uint(h)
 		if blen >= g.b {
 			return fmt.Errorf("core: level %d holds %d items ≥ capacity %d at rest", h, blen, g.b)
+		}
+		if sp := s.levels[h].sorted; sp < 0 || sp > blen {
+			return fmt.Errorf("core: level %d sorted prefix %d outside buffer of %d", h, sp, blen)
+		} else if !isSorted(s.levels[h].buf[:sp], s.internalLess) {
+			return fmt.Errorf("core: level %d sorted prefix of %d is not sorted", h, sp)
 		}
 		for i, x := range s.levels[h].buf {
 			if s.less(x, s.min) {

@@ -1,0 +1,23 @@
+package core
+
+import "math"
+
+// FilterNaN returns vs without NaN values, copying only when at least one
+// NaN is present (NaN has no place in a total order). It is shared by the
+// public float64 wrappers and the experiment-harness adapter so the
+// batch-ingest NaN policy lives in exactly one place.
+func FilterNaN(vs []float64) []float64 {
+	for i, v := range vs {
+		if math.IsNaN(v) {
+			clean := make([]float64, 0, len(vs)-1)
+			clean = append(clean, vs[:i]...)
+			for _, w := range vs[i+1:] {
+				if !math.IsNaN(w) {
+					clean = append(clean, w)
+				}
+			}
+			return clean
+		}
+	}
+	return vs
+}

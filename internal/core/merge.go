@@ -118,14 +118,29 @@ func (s *Sketch[T]) Merge(other *Sketch[T]) error {
 		}
 	}
 
-	// Step 4: combine states and concatenate buffers level by level.
+	// Step 4: combine states and merge buffers level by level. Both sides
+	// hold sorted buffers (source tails are sorted on a copy, the target's
+	// are settled in place), so each level is a galloping O(b) merge and the
+	// sorted-compactor invariant survives the merge — the bottom-up sweep in
+	// step 5 never has to re-sort.
 	for h := range src.levels {
 		if h >= len(m.levels) {
 			m.levels = append(m.levels, compactor[T]{buf: make([]T, 0, m.geom.b)})
 		}
+		m.settleLevel(h)
 		dst := &m.levels[h]
 		dst.state = schedule.Combine(dst.state, src.levels[h].state)
-		dst.buf = append(dst.buf, src.levels[h].buf...)
+		add := src.levels[h].buf
+		if sp := src.levels[h].sorted; sp < len(add) {
+			// The source is not ours to mutate: settle an unsorted tail on a
+			// private copy (only level 0 carries one in practice).
+			tail := append(make([]T, 0, len(add)-sp), add[sp:]...)
+			sortSlice(tail, m.internalLess)
+			cp := append(make([]T, 0, len(add)), add[:sp]...)
+			add = mergeSortedInto(cp, tail, m.internalLess)
+		}
+		dst.buf = mergeSortedInto(dst.buf, add, m.internalLess)
+		dst.sorted = len(dst.buf)
 		if len(dst.buf) > m.stats.MaxBufferLen {
 			m.stats.MaxBufferLen = len(dst.buf)
 		}

@@ -16,34 +16,69 @@ var (
 // Rank returns the estimated inclusive rank of y: the number of stream items
 // x with x ≤ y (Algorithm 2, Estimate-Rank). Items at level h count with
 // weight 2^h. On an empty sketch the result is 0.
+//
+// Each level is a sorted buffer (plus at most a small unsorted append tail
+// at level 0), so the count per level is one binary search plus a scan of
+// the tail: O(levels·log b) instead of a linear pass over every retained
+// item. On a frozen sketch (cached view materialized) the rank is answered
+// by a single binary search on the view.
 func (s *Sketch[T]) Rank(y T) uint64 {
+	if s.view != nil {
+		return s.view.Rank(y)
+	}
 	var r uint64
 	for h := range s.levels {
-		cnt := 0
-		for _, x := range s.levels[h].buf {
-			if !s.less(y, x) { // x ≤ y
-				cnt++
-			}
-		}
-		r += uint64(cnt) << uint(h)
+		r += uint64(s.levelCountLE(&s.levels[h], y)) << uint(h)
 	}
 	return r
 }
 
 // RankExclusive returns the estimated exclusive rank of y: the number of
-// stream items x with x < y.
+// stream items x with x < y. Like Rank it binary-searches each sorted level
+// buffer, or the cached view when the sketch is frozen.
 func (s *Sketch[T]) RankExclusive(y T) uint64 {
+	if s.view != nil {
+		return s.view.RankExclusive(y)
+	}
 	var r uint64
 	for h := range s.levels {
-		cnt := 0
-		for _, x := range s.levels[h].buf {
-			if s.less(x, y) {
-				cnt++
-			}
-		}
-		r += uint64(cnt) << uint(h)
+		r += uint64(s.levelCountLT(&s.levels[h], y)) << uint(h)
 	}
 	return r
+}
+
+// levelCountLE counts items ≤ y in one compactor: a binary search over the
+// sorted prefix (stored descending in the caller's order for HRA sketches)
+// plus a linear scan of the unsorted tail.
+func (s *Sketch[T]) levelCountLE(c *compactor[T], y T) int {
+	var cnt int
+	if s.cfg.HRA {
+		cnt = countLEDesc(c.buf[:c.sorted], y, s.less)
+	} else {
+		cnt = searchLE(c.buf[:c.sorted], y, s.less)
+	}
+	for _, x := range c.buf[c.sorted:] {
+		if !s.less(y, x) { // x ≤ y
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// levelCountLT counts items < y in one compactor; see levelCountLE.
+func (s *Sketch[T]) levelCountLT(c *compactor[T], y T) int {
+	var cnt int
+	if s.cfg.HRA {
+		cnt = countLTDesc(c.buf[:c.sorted], y, s.less)
+	} else {
+		cnt = searchLT(c.buf[:c.sorted], y, s.less)
+	}
+	for _, x := range c.buf[c.sorted:] {
+		if s.less(x, y) {
+			cnt++
+		}
+	}
+	return cnt
 }
 
 // NormalizedRank returns Rank(y)/n in [0, 1]. On an empty sketch it is 0.
@@ -75,11 +110,19 @@ func (s *Sketch[T]) Quantile(phi float64) (T, error) {
 }
 
 // Quantiles returns the estimates for each φ in phis, resolving all of them
-// against a single sorted view.
+// against a single sorted view materialized once up front (the view also
+// validates each φ, so per-φ revalidation of the sketch state is skipped).
 func (s *Sketch[T]) Quantiles(phis []float64) ([]T, error) {
 	out := make([]T, len(phis))
+	if len(phis) == 0 {
+		return out, nil
+	}
+	if s.n == 0 {
+		return nil, ErrEmpty
+	}
+	v := s.SortedView()
 	for i, phi := range phis {
-		q, err := s.Quantile(phi)
+		q, err := v.Quantile(phi)
 		if err != nil {
 			return nil, err
 		}
@@ -146,38 +189,119 @@ type View[T any] struct {
 func (s *Sketch[T]) Frozen() bool { return s.view != nil }
 
 // SortedView materializes (and caches) the sorted weighted view.
+//
+// The level buffers are already sorted (any append tails are settled first),
+// so the view is a k-way merge of the levels that writes items and running
+// cumulative weights directly into the view's arrays: no intermediate
+// weighted-item slice and no sort. Levels are consumed through a small
+// binary heap of cursors keyed by their current head item; HRA sketches
+// store buffers descending in the caller's order, so their cursors walk
+// backward.
 func (s *Sketch[T]) SortedView() *View[T] {
 	if s.view != nil {
 		return s.view
 	}
-	type wi struct {
-		item T
-		w    uint64
-	}
-	all := make([]wi, 0, s.ItemsRetained())
 	for h := range s.levels {
-		w := uint64(1) << uint(h)
-		for _, x := range s.levels[h].buf {
-			all = append(all, wi{item: x, w: w})
-		}
+		s.settleLevel(h)
 	}
-	sortSlice(all, func(a, b wi) bool { return s.less(a.item, b.item) })
+	total := s.ItemsRetained()
 	v := &View[T]{
-		items: make([]T, len(all)),
-		cum:   make([]uint64, len(all)),
+		items: make([]T, total),
+		cum:   make([]uint64, total),
 		less:  s.less,
 		n:     s.n,
 		min:   s.min,
 		max:   s.max,
 	}
-	var run uint64
-	for i, e := range all {
-		run += e.w
-		v.items[i] = e.item
-		v.cum[i] = run
-	}
+	s.kwayMergeInto(v)
 	s.view = v
 	return v
+}
+
+// viewCursor walks one sorted level buffer in ascending caller order during
+// the k-way merge of SortedView.
+type viewCursor[T any] struct {
+	buf  []T
+	pos  int // current index
+	end  int // one past the last index, in walk direction
+	step int // +1 (LRA) or -1 (HRA: buffers are stored reversed)
+	w    uint64
+}
+
+// maxSketchLevels bounds the level count (items carry weight 2^h and n is
+// capped at 2^62, so 64 is unreachable organically; FromSnapshot enforces
+// the same limit on foreign state). It sizes the merge's cursor array so the
+// k-way merge allocates nothing beyond the view itself.
+const maxSketchLevels = 64
+
+// kwayMergeInto merges the (settled) level buffers into v.items ascending in
+// the caller's order, accumulating cumulative weights as it writes.
+func (s *Sketch[T]) kwayMergeInto(v *View[T]) {
+	var cursArr [maxSketchLevels]viewCursor[T]
+	curs := cursArr[:0]
+	for h := range s.levels {
+		b := s.levels[h].buf
+		if len(b) == 0 {
+			continue
+		}
+		cur := viewCursor[T]{buf: b, w: uint64(1) << uint(h)}
+		if s.cfg.HRA {
+			cur.pos, cur.end, cur.step = len(b)-1, -1, -1
+		} else {
+			cur.pos, cur.end, cur.step = 0, len(b), 1
+		}
+		curs = append(curs, cur)
+	}
+	if len(curs) == 0 {
+		return
+	}
+	var run uint64
+	if len(curs) == 1 {
+		c := &curs[0]
+		for i := range v.items {
+			run += c.w
+			v.items[i] = c.buf[c.pos]
+			v.cum[i] = run
+			c.pos += c.step
+		}
+		return
+	}
+	// Min-heap over the cursors, keyed by each cursor's current head item.
+	headLess := func(a, b *viewCursor[T]) bool {
+		return s.less(a.buf[a.pos], b.buf[b.pos])
+	}
+	n := len(curs)
+	sift := func(root int) {
+		for {
+			child := 2*root + 1
+			if child >= n {
+				return
+			}
+			if child+1 < n && headLess(&curs[child+1], &curs[child]) {
+				child++
+			}
+			if !headLess(&curs[child], &curs[root]) {
+				return
+			}
+			curs[root], curs[child] = curs[child], curs[root]
+			root = child
+		}
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		sift(i)
+	}
+	for out := 0; n > 0; out++ {
+		c := &curs[0]
+		run += c.w
+		v.items[out] = c.buf[c.pos]
+		v.cum[out] = run
+		c.pos += c.step
+		if c.pos == c.end {
+			n--
+			curs[0] = curs[n]
+		}
+		sift(0)
+	}
 }
 
 // Size returns the number of distinct retained entries in the view.

@@ -14,6 +14,13 @@ import (
 // compacted per the exponential schedule.
 type compactor[T any] struct {
 	buf []T
+	// sorted is the length of the sorted prefix of buf under the sketch's
+	// internal order: buf[:sorted] is sorted, buf[sorted:] is the unsorted
+	// append tail. Level 0 accumulates its tail between compactions; levels
+	// ≥ 1 are kept fully sorted by merging incoming emissions (a tail can
+	// appear there only transiently, from direct weighted inserts, and is
+	// settled before the level is next compacted or queried as a whole).
+	sorted int
 	// state drives the compaction schedule. In a single stream it counts
 	// compactions; across merges it is the bitwise OR of the constituent
 	// histories plus subsequent compactions (Algorithm 3).
@@ -42,6 +49,10 @@ type Sketch[T any] struct {
 
 	// Cached sorted view, invalidated by updates and merges.
 	view *View[T]
+
+	// scratch is reused by settleLevel and emitHalf (tail copies and
+	// emission staging), so steady-state ingest performs no allocation.
+	scratch []T
 
 	// Instrumentation for the experiment harness.
 	stats Stats
@@ -107,6 +118,11 @@ func (s *Sketch[T]) Update(x T) {
 		s.growTo(s.n + 1)
 	}
 	lv := &s.levels[0]
+	if lv.sorted == len(lv.buf) && (lv.sorted == 0 || !s.internalLess(x, lv.buf[lv.sorted-1])) {
+		// x extends the sorted prefix: ascending ingest never builds a tail,
+		// making the pre-compaction settle free.
+		lv.sorted++
+	}
 	lv.buf = append(lv.buf, x)
 	s.n++
 	if len(lv.buf) > s.stats.MaxBufferLen {
@@ -114,6 +130,67 @@ func (s *Sketch[T]) Update(x T) {
 	}
 	if len(lv.buf) >= s.geom.b {
 		s.compactCascade(0)
+	}
+}
+
+// UpdateBatch inserts every item of xs, amortizing view invalidation,
+// min/max tracking, bound checks, and compaction cascades across the batch.
+// It is equivalent to calling Update once per item — bit-identical whenever
+// no stream-length growth lands mid-batch; across a growth boundary the
+// bound is raised once for the whole chunk rather than at the exact item,
+// which preserves every guarantee but may retain a slightly different
+// coreset than item-at-a-time insertion. The slice is only read.
+func (s *Sketch[T]) UpdateBatch(xs []T) {
+	if len(xs) == 0 {
+		return
+	}
+	s.view = nil
+	if !s.hasMinMax {
+		s.min, s.max = xs[0], xs[0]
+		s.hasMinMax = true
+	}
+	mn, mx := s.min, s.max
+	for _, x := range xs {
+		if s.less(x, mn) {
+			mn = x
+		} else if s.less(mx, x) {
+			mx = x
+		}
+	}
+	s.min, s.max = mn, mx
+	for i := 0; i < len(xs); {
+		lv := &s.levels[0]
+		room := s.geom.b - len(lv.buf)
+		if room <= 0 {
+			s.compactCascade(0)
+			continue
+		}
+		take := len(xs) - i
+		if take > room {
+			take = room
+		}
+		if s.n+uint64(take) > s.bound && s.bound < maxBound {
+			s.growTo(s.n + uint64(take))
+			continue // growth changed the geometry; recompute the chunk
+		}
+		wasSorted := lv.sorted == len(lv.buf)
+		lv.buf = append(lv.buf, xs[i:i+take]...)
+		if wasSorted {
+			// Extend the sorted prefix while the chunk continues it, so
+			// ascending batches stay settle-free.
+			for lv.sorted < len(lv.buf) &&
+				(lv.sorted == 0 || !s.internalLess(lv.buf[lv.sorted], lv.buf[lv.sorted-1])) {
+				lv.sorted++
+			}
+		}
+		s.n += uint64(take)
+		i += take
+		if len(lv.buf) > s.stats.MaxBufferLen {
+			s.stats.MaxBufferLen = len(lv.buf)
+		}
+		if len(lv.buf) >= s.geom.b {
+			s.compactCascade(0)
+		}
 	}
 }
 
@@ -172,16 +249,17 @@ func (s *Sketch[T]) compactCascade(h int) {
 // lines 5–11; Algorithm 3's ScheduledCompaction when the buffer holds more
 // than B items after a merge).
 //
-// The buffer is sorted in the internal order; the compacted region is every
-// item above the lowest B−L slots, where L = sections·k is dictated by the
-// schedule state. The surviving half of the region (even- or odd-indexed
-// items, fair coin) moves to level h+1 with doubled weight.
+// The buffer's unsorted tail is settled (sorted and merged behind the sorted
+// prefix — never a full re-sort); the compacted region is every item above
+// the lowest B−L slots, where L = sections·k is dictated by the schedule
+// state. The surviving half of the region (even- or odd-indexed items, fair
+// coin) moves to level h+1 with doubled weight.
 func (s *Sketch[T]) compactLevel(h int) {
 	c := &s.levels[h]
 	if len(c.buf) > s.stats.MaxBufferLen {
 		s.stats.MaxBufferLen = len(c.buf)
 	}
-	sortSlice(c.buf, s.internalLess)
+	s.settleLevel(h)
 
 	secs := schedule.SectionsFor(s.cfg.Schedule, c.state, s.geom.nsec)
 	keep := s.geom.b - secs*s.geom.k
@@ -210,7 +288,7 @@ func (s *Sketch[T]) specialCompactLevel(h int) bool {
 	if len(c.buf) <= keep {
 		return false
 	}
-	sortSlice(c.buf, s.internalLess)
+	s.settleLevel(h)
 	s.emitHalf(h, keep)
 	c = &s.levels[h] // emitHalf may have grown s.levels and moved it
 	c.state = c.state.Next()
@@ -221,7 +299,10 @@ func (s *Sketch[T]) specialCompactLevel(h int) bool {
 
 // emitHalf compacts the (already sorted) region buf[keep:] of level h:
 // every other item of the region is promoted to level h+1, the rest are
-// discarded, and the buffer is truncated to keep items.
+// discarded, and the buffer is truncated to keep items. The promoted items
+// are themselves sorted (every other item of a sorted region), so they are
+// merged into level h+1's sorted buffer in O(b) — the next level is never
+// re-sorted.
 //
 // The region is forced to even length by retaining one extra item, so each
 // compaction consumes 2m items and emits m of double weight: total weight
@@ -232,8 +313,7 @@ func (s *Sketch[T]) emitHalf(h, keep int) {
 	if (len(c.buf)-keep)%2 != 0 {
 		keep++
 	}
-	region := c.buf[keep:]
-	if len(region) == 0 {
+	if len(c.buf) <= keep {
 		return
 	}
 	offset := 0
@@ -245,12 +325,16 @@ func (s *Sketch[T]) emitHalf(h, keep int) {
 	}
 	if h+1 >= len(s.levels) {
 		s.levels = append(s.levels, compactor[T]{buf: make([]T, 0, s.geom.b)})
-		c = &s.levels[h] // re-take: append may have moved the backing array
-		region = c.buf[keep:]
 	}
-	next := &s.levels[h+1]
+	// The next level can carry an unsorted tail (direct weighted inserts);
+	// settle it before merging the emission. This must precede the scratch
+	// use below — settleLevel claims s.scratch too.
+	s.settleLevel(h + 1)
+	c = &s.levels[h] // re-take: append may have moved the levels array
+	region := c.buf[keep:]
+	s.scratch = s.scratch[:0]
 	for i := offset; i < len(region); i += 2 {
-		next.buf = append(next.buf, region[i])
+		s.scratch = append(s.scratch, region[i])
 	}
 	// Zero the abandoned tail so the GC can reclaim pointer-bearing items.
 	var zero T
@@ -258,6 +342,12 @@ func (s *Sketch[T]) emitHalf(h, keep int) {
 		c.buf[i] = zero
 	}
 	c.buf = c.buf[:keep]
+	if c.sorted > keep {
+		c.sorted = keep
+	}
+	next := &s.levels[h+1]
+	next.buf = mergeSortedInto(next.buf, s.scratch, s.internalLess)
+	next.sorted = len(next.buf)
 	if len(next.buf) > s.stats.MaxBufferLen {
 		s.stats.MaxBufferLen = len(next.buf)
 	}
@@ -293,6 +383,7 @@ func (s *Sketch[T]) Reset() {
 	s.geom = s.cfg.geometryFor(s.bound)
 	s.levels = s.levels[:1]
 	s.levels[0].buf = s.levels[0].buf[:0]
+	s.levels[0].sorted = 0
 	s.levels[0].state = 0
 	s.levels[0].numCompactions = 0
 	var zero T
@@ -316,5 +407,6 @@ func (s *Sketch[T]) Clone() *Sketch[T] {
 		c.levels[i].buf = append(make([]T, 0, max(len(s.levels[i].buf), 1)), s.levels[i].buf...)
 	}
 	c.view = nil
+	c.scratch = nil // never share transient state with the original
 	return &c
 }

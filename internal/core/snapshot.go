@@ -97,6 +97,11 @@ func FromSnapshot[T any](less func(a, b T) bool, snap Snapshot[T]) (*Sketch[T], 
 			buf:   append(make([]T, 0, s.geom.b), lv.Items...),
 			state: schedule.State(lv.State),
 		}
+		// Re-establish the sorted-compactor invariant: snapshots carry raw
+		// buffers, so recover the sorted prefix (the whole buffer for any
+		// state written by this implementation; a shorter prefix plus tail
+		// for foreign or pre-invariant snapshots is equally valid).
+		s.levels[h].sorted = sortedPrefixLen(s.levels[h].buf, s.internalLess)
 		weight += uint64(len(lv.Items)) << uint(h)
 	}
 	if weight != snap.N {

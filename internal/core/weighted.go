@@ -76,12 +76,18 @@ func (s *Sketch[T]) UpdateWeighted(x T, weight uint64) error {
 }
 
 // insertAtLevel appends x to the level-h buffer, creating intermediate
-// levels as needed. Compaction is deferred to the caller's cascade.
+// levels as needed. Compaction is deferred to the caller's cascade. The
+// append lands on the unsorted tail unless it extends the sorted prefix;
+// any tail left on levels ≥ 1 is settled by the next compaction or view
+// build.
 func (s *Sketch[T]) insertAtLevel(h int, x T) {
 	for h >= len(s.levels) {
 		s.levels = append(s.levels, compactor[T]{buf: make([]T, 0, s.geom.b)})
 	}
 	lv := &s.levels[h]
+	if lv.sorted == len(lv.buf) && (lv.sorted == 0 || !s.internalLess(x, lv.buf[lv.sorted-1])) {
+		lv.sorted++
+	}
 	lv.buf = append(lv.buf, x)
 	if len(lv.buf) > s.stats.MaxBufferLen {
 		s.stats.MaxBufferLen = len(lv.buf)

@@ -83,9 +83,7 @@ func MeasureRankError(f quantile.Factory, data DataFunc, queryRanks []uint64, tr
 		trialSeed := master.Uint64()
 		stream := data(trial, rng.New(trialSeed))
 		sk := f.New(trialSeed ^ 0x9e3779b97f4a7c15)
-		for _, v := range stream {
-			sk.Update(v)
-		}
+		quantile.Ingest(sk, stream)
 		oracle := exact.FromValues(stream)
 		for i, r := range queryRanks {
 			if r == 0 || r > oracle.N() {
@@ -129,9 +127,8 @@ func TailQueryRanks(n uint64, percentiles []float64) []uint64 {
 	return out
 }
 
-// FeedAll pushes every value into the sketch.
+// FeedAll pushes every value into the sketch, batching when the sketch
+// ingests slices natively.
 func FeedAll(sk quantile.Sketch, vals []float64) {
-	for _, v := range vals {
-		sk.Update(v)
-	}
+	quantile.Ingest(sk, vals)
 }

@@ -36,6 +36,24 @@ type Quantiler interface {
 	Quantile(phi float64) (float64, error)
 }
 
+// BatchUpdater is implemented by sketches with a native batch ingest path.
+// The harness feeds whole trial streams through it when available; the
+// semantics must match calling Update once per value.
+type BatchUpdater interface {
+	UpdateBatch(vs []float64)
+}
+
+// Ingest feeds vs into sk, through the batch path when the sketch has one.
+func Ingest(sk Sketch, vs []float64) {
+	if b, ok := sk.(BatchUpdater); ok {
+		b.UpdateBatch(vs)
+		return
+	}
+	for _, v := range vs {
+		sk.Update(v)
+	}
+}
+
 // Factory builds fresh sketch instances for repeated trials.
 type Factory struct {
 	// Name labels the family (it also names each instance).
@@ -75,6 +93,13 @@ func (r *REQ) Update(v float64) {
 		return
 	}
 	r.s.Update(v)
+}
+
+// UpdateBatch implements BatchUpdater via the core batch ingest path. The
+// harness generates NaN-free streams, but stray NaNs are still dropped to
+// keep the contract of Update.
+func (r *REQ) UpdateBatch(vs []float64) {
+	r.s.UpdateBatch(core.FilterNaN(vs))
 }
 
 // Rank implements Sketch.

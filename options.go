@@ -63,7 +63,9 @@ func WithTheorem2Mode() Option {
 // WithKnownN declares an upper bound on the total stream length, sizing the
 // sketch once instead of growing through the N-squaring schedule of
 // Section 5. Exceeding the bound is safe (growth resumes) but forfeits the
-// pre-sizing benefit.
+// pre-sizing benefit. It pairs well with UpdateBatch: with the bound known
+// up front no growth can land mid-batch, so batch and per-item ingest are
+// bit-for-bit identical.
 func WithKnownN(n uint64) Option {
 	return func(c *core.Config) error {
 		if n == 0 {

@@ -33,11 +33,20 @@ func (s *Sketch[T]) Update(item T) {
 	s.core.Update(item)
 }
 
-// UpdateAll inserts every item of the slice.
+// UpdateBatch inserts every item of the slice through the batch ingest
+// path: min/max tracking, view invalidation, bound checks, and compaction
+// cascades are amortized across the whole batch instead of paid per item.
+// Prefer it over per-item Update whenever the values are already in a slice
+// (log shipping, columnar scans, windowed aggregation). The slice is only
+// read, never retained.
+func (s *Sketch[T]) UpdateBatch(items []T) {
+	s.core.UpdateBatch(items)
+}
+
+// UpdateAll inserts every item of the slice. It is the batch ingest path;
+// UpdateAll and UpdateBatch are synonyms.
 func (s *Sketch[T]) UpdateAll(items []T) {
-	for _, it := range items {
-		s.core.Update(it)
-	}
+	s.core.UpdateBatch(items)
 }
 
 // UpdateWeighted inserts item with the given integer weight, equivalent to

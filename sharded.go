@@ -168,17 +168,23 @@ func (s *Sharded[T]) Update(x T) {
 	s.commitLocked(sh)
 }
 
-// UpdateAll inserts every item of the slice into a single shard under one
-// lock acquisition.
-func (s *Sharded[T]) UpdateAll(items []T) {
+// UpdateBatch inserts every item of the slice into a single shard under one
+// lock acquisition, through the core batch ingest path (min/max tracking,
+// bound checks, and compaction cascades amortized across the batch).
+func (s *Sharded[T]) UpdateBatch(items []T) {
 	if len(items) == 0 {
 		return
 	}
 	sh := s.writeShard()
-	for _, x := range items {
-		sh.sk.Update(x)
-	}
+	sh.sk.UpdateBatch(items)
 	s.commitLocked(sh)
+}
+
+// UpdateAll inserts every item of the slice into a single shard under one
+// lock acquisition. It is the batch ingest path; UpdateAll and UpdateBatch
+// are synonyms.
+func (s *Sharded[T]) UpdateAll(items []T) {
+	s.UpdateBatch(items)
 }
 
 // UpdateWeighted inserts item with the given integer weight; see
@@ -347,24 +353,17 @@ func (s *ShardedFloat64) Update(v float64) {
 	s.Sharded.Update(v)
 }
 
+// UpdateBatch inserts every value of the slice into a single shard through
+// the batch ingest path, skipping NaNs (the slice is copied only if one is
+// present).
+func (s *ShardedFloat64) UpdateBatch(vs []float64) {
+	s.Sharded.UpdateBatch(core.FilterNaN(vs))
+}
+
 // UpdateAll inserts every value of the slice into a single shard, skipping
-// NaNs.
+// NaNs. It is the batch ingest path; UpdateAll and UpdateBatch are synonyms.
 func (s *ShardedFloat64) UpdateAll(vs []float64) {
-	clean := vs
-	for i, v := range vs {
-		if math.IsNaN(v) {
-			// First NaN found: fall back to a filtered copy.
-			clean = make([]float64, 0, len(vs)-1)
-			clean = append(clean, vs[:i]...)
-			for _, w := range vs[i+1:] {
-				if !math.IsNaN(w) {
-					clean = append(clean, w)
-				}
-			}
-			break
-		}
-	}
-	s.Sharded.UpdateAll(clean)
+	s.UpdateBatch(vs)
 }
 
 // Merge absorbs a plain float64 sketch into one shard.

@@ -2,7 +2,9 @@ package req
 
 // Uint64 is a sketch specialised to uint64 values — timestamps, byte
 // counts, identifiers with a meaningful order. Like Float64 it supports
-// binary serialization. Not safe for concurrent use.
+// binary serialization, and inherits the batch ingest path (UpdateBatch /
+// UpdateAll) from the embedded Sketch unchanged: uint64 has no NaN to
+// filter. Not safe for concurrent use.
 type Uint64 struct {
 	Sketch[uint64]
 }
