@@ -280,6 +280,57 @@ func BenchmarkRankFrozenREQ(b *testing.B) {
 	_ = sink
 }
 
+// BenchmarkMixedREQ interleaves writes and quantile queries at several
+// write:read ratios on a single sketch — the monitoring pattern. Every
+// query is a first-query-after-writes: it pays the view revalidation, which
+// the incremental tail repair turns from a full k-way rebuild into a short
+// merge pass whenever the writes since the last query stayed on level 0.
+func BenchmarkMixedREQ(b *testing.B) {
+	for _, writes := range []int{1, 64, 1024} {
+		b.Run(fmt.Sprintf("w:r=%d:1", writes), func(b *testing.B) {
+			s, err := NewFloat64(WithEpsilon(0.01), WithSeed(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			vals := benchValues(1<<20, 2)
+			s.UpdateAll(vals)
+			_, _ = s.Quantile(0.5) // warm the view
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%(writes+1) == writes {
+					if _, err := s.Quantile(0.99); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					s.Update(vals[i&(1<<20-1)])
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRankBatchREQ measures the batch rank API per probe on a frozen
+// sketch (unsorted probe sets; the batch sorts an index permutation once
+// and answers with one galloping sweep). Compare against the single-probe
+// cost of BenchmarkRankFrozenREQ.
+func BenchmarkRankBatchREQ(b *testing.B) {
+	s, _ := NewFloat64(WithEpsilon(0.01), WithSeed(1))
+	s.UpdateAll(benchValues(1<<20, 2))
+	s.Freeze()
+	for _, size := range []int{16, 64, 1024} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			probes := benchValues(size, 3)
+			dst := make([]uint64, 0, size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += size {
+				dst = s.RankBatch(dst, probes)
+			}
+		})
+	}
+}
+
 func BenchmarkQuantileREQ(b *testing.B) {
 	s, _ := NewFloat64(WithEpsilon(0.01), WithSeed(1))
 	s.UpdateAll(benchValues(1<<20, 2))
@@ -314,6 +365,28 @@ func BenchmarkMergeREQ(b *testing.B) {
 		}
 		b.StartTimer()
 		if err := target.Merge(y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMergeSteadyREQ merges into one long-lived target, the shape of
+// a fan-in aggregator. After the first merge has grown the target's
+// reusable settle scratch and special-compaction stage, subsequent merges
+// stop allocating for those steps (compare allocs/op with BenchmarkMergeREQ,
+// whose target is reconstituted from a blob every iteration).
+func BenchmarkMergeSteadyREQ(b *testing.B) {
+	x, _ := NewFloat64(WithEpsilon(0.02), WithSeed(1))
+	y, _ := NewFloat64(WithEpsilon(0.02), WithSeed(2))
+	x.UpdateAll(benchValues(1<<15, 3))
+	y.UpdateAll(benchValues(1<<15, 4))
+	if err := x.Merge(y); err != nil { // warm scratch, stage, capacities
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := x.Merge(y); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -7,9 +7,16 @@
 //
 //	reqbench                      # run every experiment to stdout
 //	reqbench -experiment E4       # run one experiment
+//	reqbench -experiment E16      # query-engine modes: mixed read/write
+//	                              # (view repair vs rebuild) and batch-query
+//	                              # amortization tables
 //	reqbench -quick               # reduced scale (seconds instead of minutes)
 //	reqbench -out results/        # additionally write one .txt per experiment
 //	reqbench -list                # list experiment IDs and titles
+//	reqbench -cpuprofile cpu.pb   # CPU profile of the run
+//	reqbench -memprofile mem.pb   # heap profile at exit (allocation hunting:
+//	                              # the steady-state query path should be
+//	                              # invisible here)
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"runtime/pprof"
 	"strings"
 
@@ -32,8 +40,10 @@ func main() {
 		outDir     = flag.String("out", "", "directory for per-experiment .txt reports (optional)")
 		list       = flag.Bool("list", false, "list available experiments and exit")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+	memProfilePath = *memProfile
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -90,11 +100,17 @@ func main() {
 			fatal(fmt.Errorf("%s: %w", e.ID, err))
 		}
 	}
+	writeMemProfile()
 }
 
 // profileOut is the open -cpuprofile file, if any; fatal must flush it
-// because os.Exit bypasses deferred calls.
-var profileOut *os.File
+// because os.Exit bypasses deferred calls. memProfilePath is the -memprofile
+// destination, written after the experiments (or on fatal, so a crashing run
+// still leaves a heap picture).
+var (
+	profileOut     *os.File
+	memProfilePath string
+)
 
 func stopProfile() {
 	if profileOut != nil {
@@ -104,8 +120,27 @@ func stopProfile() {
 	}
 }
 
+func writeMemProfile() {
+	if memProfilePath == "" {
+		return
+	}
+	f, err := os.Create(memProfilePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reqbench: -memprofile: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	runtime.GC() // settle the heap so the profile shows retained allocations
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "reqbench: -memprofile: %v\n", err)
+		os.Exit(1)
+	}
+	memProfilePath = ""
+}
+
 func fatal(err error) {
 	stopProfile()
+	writeMemProfile()
 	fmt.Fprintf(os.Stderr, "reqbench: %v\n", err)
 	os.Exit(1)
 }

@@ -70,38 +70,78 @@ func (c *ConcurrentFloat64) Rank(y float64) uint64 {
 	return c.s.Rank(y)
 }
 
-// Quantile returns the item at normalized rank phi. While the sketch is
-// frozen (no write since the last sorted query) it holds only the read
-// lock; otherwise it freezes the sorted view and answers under a single
-// exclusive acquisition.
-func (c *ConcurrentFloat64) Quantile(phi float64) (float64, error) {
+// frozenRead runs f against the wrapped sketch under the freeze discipline
+// every sorted-view query shares: while the sketch is frozen (no write
+// since the last sorted query) f runs under the shared read lock; otherwise
+// the sketch is frozen and f run under a single exclusive acquisition, so
+// queries always terminate even under a sustained write stream.
+func (c *ConcurrentFloat64) frozenRead(f func()) {
 	c.mu.RLock()
 	if c.s.Frozen() {
-		q, err := c.s.Quantile(phi)
+		f()
 		c.mu.RUnlock()
-		return q, err
+		return
 	}
 	c.mu.RUnlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.s.Freeze()
-	return c.s.Quantile(phi)
+	f()
 }
 
-// Quantiles returns the items at each normalized rank; see Quantile for
+// Quantile returns the item at normalized rank phi; see frozenRead for the
+// locking discipline.
+func (c *ConcurrentFloat64) Quantile(phi float64) (q float64, err error) {
+	c.frozenRead(func() { q, err = c.s.Quantile(phi) })
+	return q, err
+}
+
+// Quantiles returns the items at each normalized rank; see frozenRead for
 // the locking discipline.
-func (c *ConcurrentFloat64) Quantiles(phis []float64) ([]float64, error) {
-	c.mu.RLock()
-	if c.s.Frozen() {
-		qs, err := c.s.Quantiles(phis)
-		c.mu.RUnlock()
-		return qs, err
-	}
-	c.mu.RUnlock()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.s.Freeze()
-	return c.s.Quantiles(phis)
+func (c *ConcurrentFloat64) Quantiles(phis []float64) (qs []float64, err error) {
+	c.frozenRead(func() { qs, err = c.s.Quantiles(phis) })
+	return qs, err
+}
+
+// QuantilesInto answers every normalized rank in phis, writing into dst
+// (grown as needed); see frozenRead for the locking discipline. dst must
+// not be shared with concurrent callers.
+func (c *ConcurrentFloat64) QuantilesInto(dst []float64, phis []float64) (qs []float64, err error) {
+	c.frozenRead(func() { qs, err = c.s.QuantilesInto(dst, phis) })
+	return qs, err
+}
+
+// RankBatch answers every probe in ys with one galloping sweep over the
+// frozen view, writing into dst (grown as needed) in probe order; see
+// Sketch.RankBatch and frozenRead. dst must not be shared with concurrent
+// callers.
+func (c *ConcurrentFloat64) RankBatch(dst []uint64, ys []float64) (out []uint64) {
+	c.frozenRead(func() { out = c.s.RankBatch(dst, ys) })
+	return out
+}
+
+// NormalizedRankBatch is RankBatch normalized by Count(); same locking
+// discipline.
+func (c *ConcurrentFloat64) NormalizedRankBatch(dst []float64, ys []float64) (out []float64) {
+	c.frozenRead(func() { out = c.s.NormalizedRankBatch(dst, ys) })
+	return out
+}
+
+// CDFInto writes the estimated normalized rank at each ascending split
+// point into dst (grown as needed); see frozenRead for the locking
+// discipline. dst must not be shared with concurrent callers.
+func (c *ConcurrentFloat64) CDFInto(dst []float64, splits []float64) (out []float64, err error) {
+	c.frozenRead(func() { out, err = c.s.CDFInto(dst, splits) })
+	return out, err
+}
+
+// PMFInto writes the estimated probability mass of each interval delimited
+// by the ascending split points into dst (grown as needed); see frozenRead
+// for the locking discipline. dst must not be shared with concurrent
+// callers.
+func (c *ConcurrentFloat64) PMFInto(dst []float64, splits []float64) (out []float64, err error) {
+	c.frozenRead(func() { out, err = c.s.PMFInto(dst, splits) })
+	return out, err
 }
 
 // Min returns the exact minimum. ok is false when empty.

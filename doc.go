@@ -69,10 +69,6 @@
 // compaction is merge-based — no buffer is ever fully re-sorted — and the
 // amortized update cost is O(log(1/ε)) comparisons, following Ivkin et al.,
 // "Streaming Quantiles Algorithms with Small Space and Update Time" (2019).
-// Rank queries binary-search each level; quantile queries binary-search a
-// cached sorted view built by a k-way merge of the levels. The view is
-// invalidated by writes and rebuilt lazily; on a frozen sketch both rank
-// and quantile queries are pure O(log size) reads.
 //
 // When values arrive in slices, prefer UpdateBatch over per-item Update: it
 // amortizes min/max tracking, view invalidation, stream-length bound checks
@@ -81,6 +77,42 @@
 // bit-identical sketches unless a stream-length growth lands mid-batch;
 // then the bound is raised once for the whole chunk, which preserves the
 // accuracy guarantee but may retain a slightly different coreset.
+//
+// # Query path and batch queries
+//
+// Rank queries on a live (recently written) sketch binary-search each
+// sorted level; quantile/CDF queries go through a cached sorted view built
+// by a k-way merge of the levels. The view is invalidated by writes and
+// revalidated lazily on the next view query, and the engine is careful to
+// make that revalidation cheap and garbage-free in steady state:
+//
+//   - The view always rebuilds into the storage of the previous view
+//     (grow-only backing arrays), so a long-lived sketch stops allocating
+//     on the query path entirely.
+//   - When the only writes since the last build were plain updates that
+//     stayed in level 0 — the common few-writes-between-queries case — the
+//     cached view is repaired by merging the small sorted append tail into
+//     it in one linear pass (an order of magnitude cheaper than the k-way
+//     merge). Compactions, merges, stream-length growths, and weighted
+//     updates force a full, storage-reusing rebuild instead. Both paths
+//     answer identically to a from-scratch build.
+//
+// Freeze additionally builds an Eytzinger-layout (cache-friendly,
+// branch-free descent) rank index over the view, making every subsequent
+// Rank/Quantile/CDF call a pure indexed read until the next write. Call it
+// when entering a query-heavy phase; single queries after writes do not pay
+// for it. The concurrent wrappers freeze for you: ConcurrentFloat64 before
+// answering under the shared lock, Sharded before publishing a snapshot.
+//
+// When several probes are answered at once, prefer the batch APIs —
+// RankBatch, NormalizedRankBatch, QuantilesInto, CDFInto, PMFInto — over a
+// loop of single queries. A batch revalidates the view once and visits the
+// probes in ascending order with one galloping sweep, so per-probe cost
+// amortizes to O(1) comparisons for dense sorted probe sets (unsorted sets
+// are routed through a sorted index permutation, or through lockstep index
+// descents when large). The ...Into variants write into a caller-supplied
+// destination, so a monitoring loop that reuses its slices queries with
+// zero allocations end to end.
 //
 // # Concurrency
 //

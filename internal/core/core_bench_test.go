@@ -101,9 +101,31 @@ func BenchmarkCoreRankScan(b *testing.B) {
 	_ = sink
 }
 
-// BenchmarkCoreRankFrozen ranks on a frozen sketch: the cached-view fast
-// path (two binary searches, no per-level work).
+// BenchmarkCoreRankFrozen ranks on a frozen, indexed sketch: the cached-view
+// fast path through the branchless Eytzinger index.
 func BenchmarkCoreRankFrozen(b *testing.B) {
+	s, err := New(fless, Config{Eps: 0.01, Delta: 0.01, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	for i := 0; i < 1<<20; i++ {
+		s.Update(r.Float64())
+	}
+	s.Freeze()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Rank(float64(i&1023) / 1024)
+	}
+	_ = sink
+}
+
+// BenchmarkCoreRankFrozenBinary is the same workload without the Eytzinger
+// index (SortedView but no Freeze): a plain binary search on the view, for
+// comparison with the indexed path above.
+func BenchmarkCoreRankFrozenBinary(b *testing.B) {
 	s, err := New(fless, Config{Eps: 0.01, Delta: 0.01, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
@@ -122,6 +144,8 @@ func BenchmarkCoreRankFrozen(b *testing.B) {
 	_ = sink
 }
 
+// BenchmarkCoreSortedViewBuild measures a cold view build: fresh storage,
+// full k-way merge (the spare is dropped every iteration).
 func BenchmarkCoreSortedViewBuild(b *testing.B) {
 	s, err := New(fless, Config{Eps: 0.01, Delta: 0.01, Seed: 1})
 	if err != nil {
@@ -131,10 +155,91 @@ func BenchmarkCoreSortedViewBuild(b *testing.B) {
 	for i := 0; i < 1<<20; i++ {
 		s.Update(r.Float64())
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.view = nil // force rebuild
+		s.view, s.spare = nil, nil // force a from-scratch build
 		_ = s.SortedView()
+	}
+}
+
+// BenchmarkCoreViewRebuildReuse measures the full k-way merge rebuilding
+// into recycled storage (structural invalidation, steady state: 0 allocs).
+func BenchmarkCoreViewRebuildReuse(b *testing.B) {
+	s, err := New(fless, Config{Eps: 0.01, Delta: 0.01, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	for i := 0; i < 1<<20; i++ {
+		s.Update(r.Float64())
+	}
+	s.SortedView()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.markStructural() // force the full merge, storage recycled
+		_ = s.SortedView()
+	}
+}
+
+// BenchmarkCoreViewRepairTail measures the first query after a small write:
+// one update lands on level 0's tail, and SortedView repairs the cached
+// view with one linear merge pass instead of the full k-way rebuild.
+func BenchmarkCoreViewRepairTail(b *testing.B) {
+	s, err := New(fless, Config{Eps: 0.01, Delta: 0.01, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	for i := 0; i < 1<<20; i++ {
+		s.Update(r.Float64())
+	}
+	s.SortedView()
+	vals := make([]float64, 1<<16)
+	for i := range vals {
+		vals[i] = r.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Update(vals[i&(1<<16-1)])
+		_ = s.SortedView()
+	}
+}
+
+// BenchmarkCoreRankBatch measures batch rank queries per probe on a frozen
+// sketch, for random (perm-sorted internally) and pre-sorted probe sets.
+func BenchmarkCoreRankBatch(b *testing.B) {
+	s, err := New(fless, Config{Eps: 0.01, Delta: 0.01, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	for i := 0; i < 1<<20; i++ {
+		s.Update(r.Float64())
+	}
+	s.Freeze()
+	for _, size := range []int{16, 64, 1024} {
+		probes := make([]float64, size)
+		for i := range probes {
+			probes[i] = r.Float64()
+		}
+		sorted := append([]float64(nil), probes...)
+		sortSlice(sorted, fless)
+		for _, tc := range []struct {
+			name string
+			ys   []float64
+		}{{"random", probes}, {"sorted", sorted}} {
+			b.Run(fmt.Sprintf("batch=%d/%s", size, tc.name), func(b *testing.B) {
+				dst := make([]uint64, 0, size)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i += size {
+					dst = s.RankBatch(dst, tc.ys)
+				}
+			})
+		}
 	}
 }
 

@@ -23,7 +23,10 @@ import (
 //  7. level count obeys Observation 13 (≤ ⌈log₂(n/(B/2))⌉ + 2, the slack
 //     covering geometry changes across growths);
 //  8. the sorted-compactor invariant: 0 ≤ sorted ≤ len(buf) and
-//     buf[:sorted] is sorted under the internal order at every level.
+//     buf[:sorted] is sorted under the internal order at every level;
+//  9. view-cache consistency: a current view is the spare (recycled
+//     storage), carries no pending dirty bits, matches the sketch's count,
+//     and its recorded level-0 length is the buffer's actual length.
 func (s *Sketch[T]) CheckInvariants() error {
 	g := s.geom
 	if g.b != 2*g.k*g.nsec {
@@ -65,6 +68,22 @@ func (s *Sketch[T]) CheckInvariants() error {
 	if s.bound < s.n {
 		return fmt.Errorf("core: bound %d < n %d", s.bound, s.n)
 	}
+	if s.view != nil {
+		if s.view != s.spare {
+			return fmt.Errorf("core: current view is not the recycled spare")
+		}
+		if s.viewDirty != 0 || s.viewStructural {
+			return fmt.Errorf("core: current view carries pending invalidation (dirty=%b structural=%v)",
+				s.viewDirty, s.viewStructural)
+		}
+		if s.view.n != s.n {
+			return fmt.Errorf("core: current view count %d != n %d", s.view.n, s.n)
+		}
+		if s.viewL0Len != len(s.levels[0].buf) {
+			return fmt.Errorf("core: view level-0 length %d != buffer length %d",
+				s.viewL0Len, len(s.levels[0].buf))
+		}
+	}
 	if s.n > 0 {
 		// Observation 13: items at level h have weight 2^h, so a level can
 		// exist only if 2^h ≤ 2n/B... allow generous slack for growth.
@@ -76,6 +95,12 @@ func (s *Sketch[T]) CheckInvariants() error {
 	}
 	return nil
 }
+
+// ForceViewRebuild structurally invalidates the cached view so the next
+// SortedView re-runs the full k-way merge (into recycled storage) instead
+// of a tail repair. It exists for benchmarks and experiments that compare
+// the two paths; production code never needs it.
+func (s *Sketch[T]) ForceViewRebuild() { s.markStructural() }
 
 // LevelDebug describes one level for instrumentation dumps.
 type LevelDebug struct {

@@ -387,6 +387,140 @@ func compareSketches(t *testing.T, s *Sketch[float64], r *refSketch, probes []fl
 			t.Fatalf("frozen Rank(%v): new %d, ref %d", y, got, want)
 		}
 	}
+	verifyViewEngine(t, s, probes)
+}
+
+// verifyViewEngine cross-checks the whole read path against itself: the
+// cached (possibly incrementally repaired, storage-recycled) view against a
+// from-scratch rebuild on a clone, the Eytzinger index against the plain
+// binary searches, and every batch API against its single-probe
+// counterpart. Called from compareSketches, it runs at intervals across
+// streams, merges, growths, clones, and serde round-trips.
+func verifyViewEngine(t *testing.T, s *Sketch[float64], probes []float64) {
+	t.Helper()
+	v := s.SortedView()
+	fresh := s.Clone().SortedView() // clone carries no cached view: from scratch
+	if len(v.Items()) != len(fresh.Items()) || v.TotalWeight() != fresh.TotalWeight() {
+		t.Fatalf("cached view shape (%d items, w=%d) != from-scratch (%d items, w=%d)",
+			len(v.Items()), v.TotalWeight(), len(fresh.Items()), fresh.TotalWeight())
+	}
+	for i, x := range v.Items() {
+		if x != fresh.Items()[i] {
+			t.Fatalf("cached view item %d = %v, from-scratch %v", i, x, fresh.Items()[i])
+		}
+	}
+	// Cumulative weights may legitimately differ from a from-scratch build
+	// only inside runs of tied items (merge order among equal values is not
+	// pinned); answers must not. Compare answers at every retained item plus
+	// the probes.
+	for _, y := range probes {
+		if v.Rank(y) != fresh.Rank(y) || v.RankExclusive(y) != fresh.RankExclusive(y) {
+			t.Fatalf("cached view rank at %v diverges from from-scratch build", y)
+		}
+	}
+	for _, y := range v.Items() {
+		if v.Rank(y) != fresh.Rank(y) {
+			t.Fatalf("cached view rank at retained item %v diverges from from-scratch build", y)
+		}
+	}
+
+	// Eytzinger index vs plain binary search, on the same view.
+	binRank := make(map[float64]uint64, len(probes))
+	binRankX := make(map[float64]uint64, len(probes))
+	for _, y := range probes {
+		binRank[y] = v.Rank(y)
+		binRankX[y] = v.RankExclusive(y)
+	}
+	phis := []float64{0, 1e-9, 0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.999, 1}
+	binQ := make([]float64, len(phis))
+	for i, phi := range phis {
+		q, err := v.Quantile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		binQ[i] = q
+	}
+	s.Freeze()
+	if !v.idx.built {
+		t.Fatal("Freeze did not build the Eytzinger index")
+	}
+	for _, y := range probes {
+		if got := v.Rank(y); got != binRank[y] {
+			t.Fatalf("Eytzinger Rank(%v) = %d, binary %d", y, got, binRank[y])
+		}
+		if got := v.RankExclusive(y); got != binRankX[y] {
+			t.Fatalf("Eytzinger RankExclusive(%v) = %d, binary %d", y, got, binRankX[y])
+		}
+	}
+	for i, phi := range phis {
+		q, err := v.Quantile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q != binQ[i] {
+			t.Fatalf("Eytzinger Quantile(%v) = %v, binary %v", phi, q, binQ[i])
+		}
+	}
+
+	// Batch APIs vs single probes, in given (unsorted) and sorted order.
+	ranks := s.RankBatch(nil, probes)
+	nranks := s.NormalizedRankBatch(nil, probes)
+	for i, y := range probes {
+		if ranks[i] != binRank[y] {
+			t.Fatalf("RankBatch[%d] (y=%v) = %d, single %d", i, y, ranks[i], binRank[y])
+		}
+		want := 0.0
+		if s.Count() > 0 {
+			want = float64(binRank[y]) / float64(s.Count())
+		}
+		if nranks[i] != want {
+			t.Fatalf("NormalizedRankBatch[%d] = %v, single %v", i, nranks[i], want)
+		}
+	}
+	sortedProbes := append([]float64(nil), probes...)
+	sort.Float64s(sortedProbes)
+	ranks = s.RankBatch(ranks, sortedProbes) // reuse dst across calls
+	for i, y := range sortedProbes {
+		if ranks[i] != binRank[y] {
+			t.Fatalf("sorted RankBatch[%d] (y=%v) = %d, single %d", i, y, ranks[i], binRank[y])
+		}
+	}
+	qs, err := s.QuantilesInto(nil, phis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := []float64{0.9, 0.001, 1, 0.5, 0, 0.25}
+	qs2, err := s.QuantilesInto(nil, shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, phi := range phis {
+		if qs[i] != binQ[i] {
+			t.Fatalf("QuantilesInto(%v) = %v, single %v", phi, qs[i], binQ[i])
+		}
+	}
+	for i, phi := range shuffled {
+		want, err := s.Quantile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qs2[i] != want {
+			t.Fatalf("unsorted QuantilesInto(%v) = %v, single %v", phi, qs2[i], want)
+		}
+	}
+	cdf, err := s.CDFInto(nil, sortedProbes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, y := range sortedProbes {
+		want := float64(binRank[y]) / float64(s.Count())
+		if cdf[i] != want {
+			t.Fatalf("CDFInto[%d] = %v, want %v", i, cdf[i], want)
+		}
+	}
+	if cdf[len(sortedProbes)] != 1 {
+		t.Fatalf("CDFInto tail = %v", cdf[len(sortedProbes)])
+	}
 }
 
 // equivProbes builds rank probes spanning below, inside, and above the

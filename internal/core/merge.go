@@ -56,7 +56,7 @@ func (s *Sketch[T]) Merge(other *Sketch[T]) error {
 	if err := s.cfg.Compatible(&other.cfg); err != nil {
 		return err
 	}
-	s.view = nil
+	s.markStructural()
 	if s.n == 0 {
 		// Adopt a deep copy of other wholesale, keeping s's seed identity.
 		c := other.Clone()
@@ -100,7 +100,11 @@ func (s *Sketch[T]) Merge(other *Sketch[T]) error {
 	}
 
 	// Step 3: if the source's geometry lags the target's, special-compact
-	// the source (on a private copy, under the source's own geometry).
+	// the source — on m's reusable staging sketch rather than a fresh deep
+	// copy, so repeated merges into a long-lived target stop allocating for
+	// this step once the stage's buffers have grown. The stage borrows m's
+	// random source for the special compactions (exactly as the old private
+	// clone did), keeping the coin stream bit-identical.
 	if src.bound < m.bound {
 		needsSpecial := false
 		for h := 0; h < len(src.levels)-1; h++ {
@@ -110,11 +114,18 @@ func (s *Sketch[T]) Merge(other *Sketch[T]) error {
 			}
 		}
 		if needsSpecial {
-			src = src.Clone()
-			src.rnd = m.rnd
-			for h := 0; h < len(src.levels)-1; h++ {
-				src.specialCompactLevel(h)
+			if m.stage == nil {
+				m.stage = &Sketch[T]{}
 			}
+			stage := m.stage
+			stage.CopyFrom(src)
+			stageRnd := stage.rnd // keep the stage's own source for reuse
+			stage.rnd = m.rnd
+			for h := 0; h < len(stage.levels)-1; h++ {
+				stage.specialCompactLevel(h)
+			}
+			stage.rnd = stageRnd
+			src = stage
 		}
 	}
 
@@ -132,12 +143,16 @@ func (s *Sketch[T]) Merge(other *Sketch[T]) error {
 		dst.state = schedule.Combine(dst.state, src.levels[h].state)
 		add := src.levels[h].buf
 		if sp := src.levels[h].sorted; sp < len(add) {
-			// The source is not ours to mutate: settle an unsorted tail on a
-			// private copy (only level 0 carries one in practice).
-			tail := append(make([]T, 0, len(add)-sp), add[sp:]...)
-			sortSlice(tail, m.internalLess)
-			cp := append(make([]T, 0, len(add)), add[:sp]...)
-			add = mergeSortedInto(cp, tail, m.internalLess)
+			// The source is not ours to mutate: settle an unsorted tail on
+			// m's reusable scratch buffers (only level 0 carries a tail in
+			// practice, and m.scratch is free here — settleLevel above is
+			// done with it), so settling allocates nothing once the buffers
+			// have grown.
+			m.scratch = append(m.scratch[:0], add[sp:]...)
+			sortSlice(m.scratch, m.internalLess)
+			m.mergeBuf = append(m.mergeBuf[:0], add[:sp]...)
+			m.mergeBuf = mergeSortedInto(m.mergeBuf, m.scratch, m.internalLess)
+			add = m.mergeBuf
 		}
 		dst.buf = mergeSortedInto(dst.buf, add, m.internalLess)
 		dst.sorted = len(dst.buf)

@@ -239,6 +239,69 @@ func TestPropertySnapshotRoundTrip(t *testing.T) {
 	}
 }
 
+func TestPropertyViewRepairEquivalence(t *testing.T) {
+	// Under arbitrary interleavings of Update, UpdateBatch, UpdateWeighted,
+	// and view-building queries, the cached view (tail-repaired or rebuilt
+	// into recycled storage, indexed or not) answers identically to a view
+	// built from scratch on a clone.
+	f := func(ops []uint16, seedByte uint8) bool {
+		s, err := New(fless, Config{Eps: 0.15, Delta: 0.15, Seed: uint64(seedByte)})
+		if err != nil {
+			return false
+		}
+		r := rng.New(uint64(seedByte) * 131)
+		if len(ops) > 200 {
+			ops = ops[:200]
+		}
+		batch := make([]float64, 0, 32)
+		for _, op := range ops {
+			switch op % 5 {
+			case 0, 1:
+				s.Update(math.Floor(r.Float64() * 50))
+			case 2:
+				batch = batch[:0]
+				for i := 0; i < int(op%31); i++ {
+					batch = append(batch, math.Floor(r.Float64()*50))
+				}
+				s.UpdateBatch(batch)
+			case 3:
+				if err := s.UpdateWeighted(math.Floor(r.Float64()*50), uint64(op%9)); err != nil {
+					return false
+				}
+			case 4:
+				if op%2 == 0 {
+					s.Freeze()
+				} else {
+					s.SortedView()
+				}
+			}
+			if s.CheckInvariants() != nil {
+				return false
+			}
+		}
+		v := s.SortedView()
+		fresh := s.Clone().SortedView()
+		if v.TotalWeight() != fresh.TotalWeight() || len(v.Items()) != len(fresh.Items()) {
+			return false
+		}
+		for i := range v.Items() {
+			if v.Items()[i] != fresh.Items()[i] {
+				return false
+			}
+		}
+		s.Freeze()
+		for y := -1.0; y <= 51; y++ {
+			if v.Rank(y) != fresh.Rank(y) || v.RankExclusive(y) != fresh.RankExclusive(y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPropertyRetainedItemsAreStreamItems(t *testing.T) {
 	// Every retained item must be an item that was actually inserted (the
 	// sketch is comparison-based and never invents values).

@@ -11,6 +11,8 @@ var (
 	ErrEmpty = errors.New("core: sketch is empty")
 	// ErrBadRank is returned for normalized ranks outside [0, 1].
 	ErrBadRank = errors.New("core: normalized rank outside [0, 1]")
+	// errUnsortedSplits is returned by CDF/PMF for out-of-order split points.
+	errUnsortedSplits = errors.New("core: CDF split points not sorted")
 )
 
 // Rank returns the estimated inclusive rank of y: the number of stream items
@@ -21,7 +23,8 @@ var (
 // at level 0), so the count per level is one binary search plus a scan of
 // the tail: O(levels·log b) instead of a linear pass over every retained
 // item. On a frozen sketch (cached view materialized) the rank is answered
-// by a single binary search on the view.
+// by a single search on the view — branchless Eytzinger when the index has
+// been built by Freeze, binary otherwise.
 func (s *Sketch[T]) Rank(y T) uint64 {
 	if s.view != nil {
 		return s.view.Rank(y)
@@ -109,70 +112,91 @@ func (s *Sketch[T]) Quantile(phi float64) (T, error) {
 	return s.SortedView().Quantile(phi)
 }
 
-// Quantiles returns the estimates for each φ in phis, resolving all of them
-// against a single sorted view materialized once up front (the view also
-// validates each φ, so per-φ revalidation of the sketch state is skipped).
+// Quantiles returns the estimates for each φ in phis. It is a thin
+// allocating wrapper over QuantilesInto.
 func (s *Sketch[T]) Quantiles(phis []float64) ([]T, error) {
-	out := make([]T, len(phis))
+	return s.QuantilesInto(nil, phis)
+}
+
+// QuantilesInto answers every φ in phis against a single sorted view,
+// writing the estimates into dst (grown as needed; pass a slice retained
+// across calls for steady-state allocation-free querying) and returning it
+// with length len(phis). See View.QuantilesInto for the sweep strategy.
+func (s *Sketch[T]) QuantilesInto(dst []T, phis []float64) ([]T, error) {
 	if len(phis) == 0 {
-		return out, nil
+		return resizeSlice(dst, 0), nil
 	}
 	if s.n == 0 {
 		return nil, ErrEmpty
 	}
-	v := s.SortedView()
-	for i, phi := range phis {
-		q, err := v.Quantile(phi)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = q
-	}
-	return out, nil
+	return s.SortedView().QuantilesInto(dst, phis)
+}
+
+// RankBatch returns the estimated inclusive rank of every probe in ys,
+// written into dst (grown as needed) in the order of ys. The probe set is
+// answered with one sweep over the sorted view: probes are processed in
+// ascending order and the view cursor only moves forward (by galloping), so
+// the per-probe cost amortizes to O(1) comparisons for dense batches.
+// Building (or incrementally repairing) the view is amortized across the
+// batch; on an empty sketch every rank is 0.
+func (s *Sketch[T]) RankBatch(dst []uint64, ys []T) []uint64 {
+	return s.SortedView().RankBatch(dst, ys)
+}
+
+// NormalizedRankBatch is RankBatch normalized by the stream length: every
+// entry is Rank(y)/n in [0, 1] (0 on an empty sketch).
+func (s *Sketch[T]) NormalizedRankBatch(dst []float64, ys []T) []float64 {
+	return s.SortedView().NormalizedRankBatch(dst, ys)
 }
 
 // CDF returns the estimated normalized inclusive ranks at each split point.
 // Splits must be sorted ascending in the sketch's order; the result has
-// len(splits)+1 entries, the last being 1 (the mass ≤ +∞).
+// len(splits)+1 entries, the last being 1 (the mass ≤ +∞). It is a thin
+// allocating wrapper over CDFInto.
 func (s *Sketch[T]) CDF(splits []T) ([]float64, error) {
+	return s.CDFInto(nil, splits)
+}
+
+// CDFInto is CDF writing into dst (grown as needed) and returning it.
+func (s *Sketch[T]) CDFInto(dst []float64, splits []T) ([]float64, error) {
 	if s.n == 0 {
 		return nil, ErrEmpty
 	}
-	for i := 1; i < len(splits); i++ {
-		if s.less(splits[i], splits[i-1]) {
-			return nil, errors.New("core: CDF split points not sorted")
-		}
-	}
-	v := s.SortedView()
-	out := make([]float64, len(splits)+1)
-	for i, sp := range splits {
-		out[i] = float64(v.Rank(sp)) / float64(s.n)
-	}
-	out[len(splits)] = 1
-	return out, nil
+	return s.SortedView().CDFInto(dst, splits)
 }
 
 // PMF returns the estimated probability mass in each interval delimited by
-// the sorted split points: (−∞, s₀], (s₀, s₁], …, (s_last, +∞).
+// the sorted split points: (−∞, s₀], (s₀, s₁], …, (s_last, +∞). It is a
+// thin allocating wrapper over PMFInto.
 func (s *Sketch[T]) PMF(splits []T) ([]float64, error) {
-	cdf, err := s.CDF(splits)
+	return s.PMFInto(nil, splits)
+}
+
+// PMFInto is PMF writing into dst (grown as needed) and returning it.
+func (s *Sketch[T]) PMFInto(dst []float64, splits []T) ([]float64, error) {
+	dst, err := s.CDFInto(dst, splits)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, len(cdf))
 	prev := 0.0
-	for i, c := range cdf {
-		out[i] = c - prev
+	for i, c := range dst {
+		dst[i] = c - prev
 		prev = c
 	}
-	return out, nil
+	return dst, nil
 }
 
-// View is an immutable sorted snapshot of the sketch's weighted coreset:
-// items ascending in the caller's order with cumulative weights. It answers
-// rank and quantile queries in O(log size) and is what the experiment
-// harness uses for bulk evaluation. A View remains valid after further
-// updates to the sketch but no longer reflects them.
+// View is a sorted snapshot of the sketch's weighted coreset: items
+// ascending in the caller's order with cumulative weights. It answers rank
+// and quantile queries in O(log size) (O(1)-ish cache behaviour once the
+// Eytzinger index is built by Freeze) and is what the experiment harness
+// uses for bulk evaluation.
+//
+// Ownership: the view returned by SortedView is owned by the sketch, which
+// recycles its storage on the next rebuild — it is valid only until the
+// next mutation of the sketch. Callers that need a durable snapshot should
+// Clone the sketch (or copy Items/CumulativeWeights) instead of retaining
+// the view across writes.
 type View[T any] struct {
 	items []T
 	cum   []uint64 // cum[i] = total weight of items[0..i]
@@ -180,6 +204,7 @@ type View[T any] struct {
 	n     uint64
 	min   T
 	max   T
+	idx   eytIndex[T] // optional branchless rank index; built by Freeze
 }
 
 // Frozen reports whether the cached sorted view is materialized, i.e.
@@ -190,32 +215,169 @@ func (s *Sketch[T]) Frozen() bool { return s.view != nil }
 
 // SortedView materializes (and caches) the sorted weighted view.
 //
-// The level buffers are already sorted (any append tails are settled first),
-// so the view is a k-way merge of the levels that writes items and running
-// cumulative weights directly into the view's arrays: no intermediate
-// weighted-item slice and no sort. Levels are consumed through a small
-// binary heap of cursors keyed by their current head item; HRA sketches
-// store buffers descending in the caller's order, so their cursors walk
-// backward.
+// Steady state performs no allocation: the view is rebuilt into the storage
+// of the previously built view (grow-only backing arrays). When the only
+// mutations since the last build were appends to level 0 — the common
+// few-writes-between-queries case — the cached view is repaired by merging
+// the small sorted append tail into it in one linear pass instead of
+// re-running the full k-way merge; compactions, growths, merges, and
+// weighted updates into higher levels force a full (but storage-reusing)
+// rebuild. Both paths produce views answering identically to a from-scratch
+// build.
 func (s *Sketch[T]) SortedView() *View[T] {
 	if s.view != nil {
 		return s.view
 	}
+	if s.spare != nil && !s.viewStructural && s.viewDirty == 1 &&
+		len(s.levels[0].buf) >= s.viewL0Len {
+		return s.repairTailView()
+	}
+	return s.rebuildView()
+}
+
+// Freeze materializes the cached sorted view and its Eytzinger rank index,
+// making every subsequent Rank/Quantile/CDF call a branchless pure read
+// until the next mutation. It returns the frozen view.
+func (s *Sketch[T]) Freeze() *View[T] {
+	v := s.SortedView()
+	v.buildIndex()
+	return v
+}
+
+// rebuildView performs the full k-way merge of the (settled) levels into the
+// spare view's recycled storage.
+func (s *Sketch[T]) rebuildView() *View[T] {
 	for h := range s.levels {
 		s.settleLevel(h)
 	}
 	total := s.ItemsRetained()
-	v := &View[T]{
-		items: make([]T, total),
-		cum:   make([]uint64, total),
-		less:  s.less,
-		n:     s.n,
-		min:   s.min,
-		max:   s.max,
+	v := s.spare
+	if v == nil {
+		v = &View[T]{}
+		s.spare = v
 	}
+	if total < len(v.items) {
+		// Zero the abandoned tail so pointer-bearing items do not linger in
+		// the recycled backing array.
+		var zero T
+		for i := total; i < len(v.items); i++ {
+			v.items[i] = zero
+		}
+	}
+	v.items = resizeSlice(v.items, total)
+	v.cum = resizeSlice(v.cum, total)
+	v.less, v.n, v.min, v.max = s.less, s.n, s.min, s.max
+	v.idx.built = false
 	s.kwayMergeInto(v)
-	s.view = v
+	s.viewRevalidated()
 	return v
+}
+
+// repairTailView revalidates the spare view after appends to level 0 only:
+// the sorted append tail (weight-1 items) is merged into the cached sorted
+// array backward in place, rewriting cumulative weights as it goes — O(view
+// + tail) with zero allocations, against O(total·log levels) and the full
+// cursor machinery for a k-way rebuild.
+func (s *Sketch[T]) repairTailView() *View[T] {
+	v := s.spare
+	tail := s.levels[0].buf[s.viewL0Len:]
+	m := len(tail)
+	v.n, v.min, v.max = s.n, s.min, s.max
+	v.idx.built = false
+	if m == 0 {
+		s.viewRevalidated()
+		return v
+	}
+	// Sort a copy of the tail ascending in the caller's order (the level
+	// buffer itself is ordered by the internal order and stays untouched
+	// until settled below).
+	s.scratch = append(s.scratch[:0], tail...)
+	sortSlice(s.scratch, s.less)
+	old := len(v.items)
+	v.items = growSlice(v.items, old+m)
+	v.cum = growSlice(v.cum, old+m)
+	var run uint64
+	if old > 0 {
+		run = v.cum[old-1]
+	}
+	run += uint64(m)
+	i, j, k := old-1, m-1, old+m-1
+	for i >= 0 && j >= 0 {
+		if s.less(v.items[i], s.scratch[j]) {
+			v.items[k] = s.scratch[j]
+			v.cum[k] = run
+			run--
+			j--
+		} else {
+			w := v.cum[i]
+			if i > 0 {
+				w -= v.cum[i-1]
+			}
+			v.items[k] = v.items[i]
+			v.cum[k] = run
+			run -= w
+			i--
+		}
+		k--
+	}
+	for j >= 0 {
+		v.items[k] = s.scratch[j]
+		v.cum[k] = run
+		run--
+		j--
+		k--
+	}
+	// items[0..i] and their cumulative weights are untouched: every new item
+	// merged in above them, so their prefix sums are unchanged.
+	//
+	// Settle level 0 so the sketch state matches the full-rebuild path (which
+	// settles every level); this must follow the merge above because
+	// settleLevel claims s.scratch.
+	s.settleLevel(0)
+	s.viewRevalidated()
+	return v
+}
+
+// viewRevalidated marks the spare view current after a rebuild or repair.
+func (s *Sketch[T]) viewRevalidated() {
+	s.view = s.spare
+	s.viewDirty = 0
+	s.viewStructural = false
+	s.viewL0Len = len(s.levels[0].buf)
+}
+
+// resizeSlice returns xs with length n, reusing the backing array when
+// capacity suffices and allocating exactly otherwise (rebuilds overwrite
+// every element, so a fresh array needs no headroom — repairs grow through
+// growSlice, whose headroom then sticks to the recycled array). Existing
+// contents are NOT preserved across a reallocation.
+func resizeSlice[T any](xs []T, n int) []T {
+	if cap(xs) >= n {
+		return xs[:n]
+	}
+	return make([]T, n)
+}
+
+// growSlice returns xs with length n, preserving contents across a
+// reallocation. It over-allocates by ~1/8 so that a run of tail repairs
+// (each growing the view by a few items) amortizes to O(1) reallocations.
+func growSlice[T any](xs []T, n int) []T {
+	if cap(xs) >= n {
+		return xs[:n]
+	}
+	out := make([]T, n, n+n/8+16)
+	copy(out, xs)
+	return out
+}
+
+// resizeAmortized is resizeSlice with growSlice's headroom: contents are
+// not preserved, but repeated small growth (the index arrays after tail
+// repairs) amortizes to O(1) reallocations.
+func resizeAmortized[T any](xs []T, n int) []T {
+	if cap(xs) >= n {
+		return xs[:n]
+	}
+	return make([]T, n, n+n/8+16)
 }
 
 // viewCursor walks one sorted level buffer in ascending caller order during
@@ -319,6 +481,9 @@ func (v *View[T]) CumulativeWeights() []uint64 { return v.cum }
 
 // Rank returns the estimated inclusive rank of y.
 func (v *View[T]) Rank(y T) uint64 {
+	if v.idx.built {
+		return v.idx.rank(y, v.less)
+	}
 	i := searchLE(v.items, y, v.less)
 	if i == 0 {
 		return 0
@@ -328,11 +493,206 @@ func (v *View[T]) Rank(y T) uint64 {
 
 // RankExclusive returns the estimated exclusive rank of y.
 func (v *View[T]) RankExclusive(y T) uint64 {
+	if v.idx.built {
+		return v.idx.rankExclusive(y, v.less)
+	}
 	i := searchLT(v.items, y, v.less)
 	if i == 0 {
 		return 0
 	}
 	return v.cum[i-1]
+}
+
+// RankBatch answers Rank for every probe in ys, writing into dst (grown as
+// needed) in probe order and returning it. Probes are visited in ascending
+// order — directly when ys is already sorted, through a sorted index
+// permutation otherwise — so the view cursor only gallops forward and the
+// whole batch costs O(view + m·log m) instead of m independent binary
+// searches. Already-sorted probe sets are answered with zero allocations
+// beyond dst.
+func (v *View[T]) RankBatch(dst []uint64, ys []T) []uint64 {
+	dst = resizeSlice(dst, len(ys))
+	v.rankSweep(ys, func(qi int, rank uint64) {
+		dst[qi] = rank
+	})
+	return dst
+}
+
+// NormalizedRankBatch is RankBatch normalized by the total weight: every
+// entry is Rank(y)/n in [0, 1] (0 when the view is empty).
+func (v *View[T]) NormalizedRankBatch(dst []float64, ys []T) []float64 {
+	dst = resizeSlice(dst, len(ys))
+	nf := float64(v.n)
+	v.rankSweep(ys, func(qi int, rank uint64) {
+		if v.n == 0 {
+			dst[qi] = 0
+		} else {
+			dst[qi] = float64(rank) / nf
+		}
+	})
+	return dst
+}
+
+// probePair carries one probe with its input position through the sort that
+// orders an unsorted batch. Sorting (key, index) pairs keeps every
+// comparison on contiguous memory; sorting a bare index permutation would
+// chase two random pointers per comparison instead.
+type probePair[T any] struct {
+	y  T
+	qi int
+}
+
+// interleaveMinBatch is the unsorted batch size from which an indexed view
+// answers probes by interleaved Eytzinger descents instead of sorting the
+// probes: by then the m·log m sort costs more than it saves, while the
+// lockstep descents overlap their cache misses. Small batches still sort —
+// the sweep's galloping beats independent searches when probes are few.
+const interleaveMinBatch = 32
+
+// rankSweep computes the inclusive rank of every probe, reporting results
+// in input order via emit. Sorted probe sets are answered with one forward
+// galloping sweep; unsorted sets either sort a (key, index) pair array and
+// sweep, or — for larger batches on an indexed view — descend the Eytzinger
+// index several probes at a time in lockstep.
+func (v *View[T]) rankSweep(ys []T, emit func(qi int, rank uint64)) {
+	if len(ys) == 0 {
+		return
+	}
+	rankAt := func(pos int) uint64 {
+		if pos == 0 {
+			return 0
+		}
+		return v.cum[pos-1]
+	}
+	if isSorted(ys, v.less) {
+		pos := 0
+		for qi, y := range ys {
+			pos = gallopLE(v.items, pos, y, v.less)
+			emit(qi, rankAt(pos))
+		}
+		return
+	}
+	if isSortedDesc(ys, v.less) {
+		pos := 0
+		for qi := len(ys) - 1; qi >= 0; qi-- {
+			pos = gallopLE(v.items, pos, ys[qi], v.less)
+			emit(qi, rankAt(pos))
+		}
+		return
+	}
+	if v.idx.built && len(ys) >= interleaveMinBatch {
+		v.idx.rankBatch(ys, v.less, emit)
+		return
+	}
+	pairs := make([]probePair[T], len(ys))
+	for i, y := range ys {
+		pairs[i] = probePair[T]{y: y, qi: i}
+	}
+	sortSlice(pairs, func(a, b probePair[T]) bool { return v.less(a.y, b.y) })
+	pos := 0
+	for i := range pairs {
+		pos = gallopLE(v.items, pos, pairs[i].y, v.less)
+		emit(pairs[i].qi, rankAt(pos))
+	}
+}
+
+// QuantilesInto answers every φ in phis, writing the estimates into dst
+// (grown as needed) in input order and returning it with length len(phis).
+// Sorted φ sets are answered with a single forward sweep over the
+// cumulative weights (zero allocations beyond dst); unsorted sets are
+// routed through a sorted index permutation. Any φ outside [0, 1] (or NaN)
+// fails the whole batch with ErrBadRank; an empty view yields ErrEmpty.
+func (v *View[T]) QuantilesInto(dst []T, phis []float64) ([]T, error) {
+	dst = resizeSlice(dst, len(phis))
+	if len(phis) == 0 {
+		return dst, nil
+	}
+	if v.n == 0 {
+		return nil, ErrEmpty
+	}
+	for _, phi := range phis {
+		if math.IsNaN(phi) || phi < 0 || phi > 1 {
+			return nil, ErrBadRank
+		}
+	}
+	sorted := true
+	for i := 1; i < len(phis); i++ {
+		if phis[i] < phis[i-1] {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		pos := 0
+		for i, phi := range phis {
+			dst[i], pos = v.quantileAt(phi, pos)
+		}
+		return dst, nil
+	}
+	pairs := make([]probePair[float64], len(phis))
+	for i, phi := range phis {
+		pairs[i] = probePair[float64]{y: phi, qi: i}
+	}
+	sortSlice(pairs, func(a, b probePair[float64]) bool { return a.y < b.y })
+	pos := 0
+	for i := range pairs {
+		dst[pairs[i].qi], pos = v.quantileAt(pairs[i].y, pos)
+	}
+	return dst, nil
+}
+
+// quantileAt resolves one (validated) φ during a sorted sweep: pos is the
+// cursor into cum below which every cumulative weight is known to be short
+// of earlier targets. It returns the estimate and the advanced cursor.
+func (v *View[T]) quantileAt(phi float64, pos int) (T, int) {
+	if phi == 0 {
+		return v.min, pos
+	}
+	if phi == 1 {
+		return v.max, pos
+	}
+	target := uint64(math.Ceil(phi * float64(v.n)))
+	if target == 0 {
+		target = 1
+	}
+	if target > v.n {
+		target = v.n
+	}
+	pos = gallopCumGE(v.cum, pos, target)
+	if pos == len(v.items) {
+		// Total retained weight can be less than n only if the sketch was
+		// restored from a foreign snapshot; clamp to the maximum.
+		return v.max, pos
+	}
+	return v.items[pos], pos
+}
+
+// CDFInto writes the estimated normalized inclusive rank at each split
+// point into dst (grown as needed; len(splits)+1 entries, the last being 1)
+// and returns it. Splits must be sorted ascending; the whole batch is one
+// forward galloping sweep with zero allocations beyond dst.
+func (v *View[T]) CDFInto(dst []float64, splits []T) ([]float64, error) {
+	if v.n == 0 {
+		return nil, ErrEmpty
+	}
+	for i := 1; i < len(splits); i++ {
+		if v.less(splits[i], splits[i-1]) {
+			return nil, errUnsortedSplits
+		}
+	}
+	dst = resizeSlice(dst, len(splits)+1)
+	nf := float64(v.n)
+	pos := 0
+	for i, sp := range splits {
+		pos = gallopLE(v.items, pos, sp, v.less)
+		if pos == 0 {
+			dst[i] = 0
+		} else {
+			dst[i] = float64(v.cum[pos-1]) / nf
+		}
+	}
+	dst[len(splits)] = 1
+	return dst, nil
 }
 
 // Weight returns the weight of items[i] (the difference of consecutive
@@ -366,6 +726,9 @@ func (v *View[T]) Quantile(phi float64) (T, error) {
 	}
 	if target > v.n {
 		target = v.n
+	}
+	if v.idx.built {
+		return v.idx.quantile(target, v.max), nil
 	}
 	// First index with cum ≥ target.
 	lo, hi := 0, len(v.cum)

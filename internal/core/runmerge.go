@@ -112,6 +112,62 @@ func countLTDesc[T any](xs []T, y T, less func(a, b T) bool) int {
 	return len(xs) - lo
 }
 
+// gallopLE returns the index of the first element > y in sorted xs, starting
+// the search at from (every element before from must already be ≤ y — the
+// batch-query sweeps guarantee it by visiting probes in ascending order).
+// Exponential probing followed by a binary search keeps the cost
+// O(log(gap)) in the distance advanced, so a whole ascending sweep is O(n)
+// worst case and O(m·log(n/m)) for m spread-out probes.
+func gallopLE[T any](xs []T, from int, y T, less func(a, b T) bool) int {
+	n := len(xs)
+	if from >= n || less(y, xs[from]) {
+		return from
+	}
+	lo, hi := from, n // xs[lo] ≤ y; hi is first candidate known > y (or n)
+	for step := 1; lo+step < n; step <<= 1 {
+		if less(y, xs[lo+step]) {
+			hi = lo + step
+			break
+		}
+		lo += step
+	}
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if less(y, xs[mid]) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// gallopCumGE returns the index of the first entry ≥ target in the
+// non-decreasing cumulative-weight array, starting at from; see gallopLE.
+func gallopCumGE(cum []uint64, from int, target uint64) int {
+	n := len(cum)
+	if from >= n || cum[from] >= target {
+		return from
+	}
+	lo, hi := from, n // cum[lo] < target
+	for step := 1; lo+step < n; step <<= 1 {
+		if cum[lo+step] >= target {
+			hi = lo + step
+			break
+		}
+		lo += step
+	}
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cum[mid] >= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
 // sortedPrefixLen returns the length of the longest sorted (non-decreasing
 // under less) prefix of xs.
 func sortedPrefixLen[T any](xs []T, less func(a, b T) bool) int {

@@ -47,12 +47,31 @@ type Sketch[T any] struct {
 	min, max  T
 	hasMinMax bool
 
-	// Cached sorted view, invalidated by updates and merges.
-	view *View[T]
+	// view is the cached sorted view when it is current (nil ⇒ stale).
+	// spare retains the most recently built view so rebuilds recycle its
+	// storage: view == spare whenever view is non-nil.
+	view  *View[T]
+	spare *View[T]
+	// viewDirty is a bitmap of levels whose buffers received appends since
+	// spare was built; viewStructural records mutations that reordered or
+	// truncated buffers (compaction, growth, merge, reset), which force a
+	// full (storage-reusing) rebuild. When only bit 0 is set, the view is
+	// repaired by merging level 0's append tail into spare in one pass.
+	viewDirty      uint64
+	viewStructural bool
+	// viewL0Len is len(levels[0].buf) when spare was built; the repair path
+	// treats buf[viewL0Len:] as the new tail.
+	viewL0Len int
 
 	// scratch is reused by settleLevel and emitHalf (tail copies and
 	// emission staging), so steady-state ingest performs no allocation.
 	scratch []T
+	// mergeBuf stages settled copies of merge-source levels (Merge step 4),
+	// reused across merges so settling allocates only on growth.
+	mergeBuf []T
+	// stage is a reusable deep-copy target for merge sources that need a
+	// special compaction (Merge step 3), replacing a per-merge Clone.
+	stage *Sketch[T]
 
 	// Instrumentation for the experiment harness.
 	stats Stats
@@ -100,9 +119,29 @@ func (s *Sketch[T]) internalLess(a, b T) bool {
 	return s.less(a, b)
 }
 
+// markAppended invalidates the cached view after an append-only mutation of
+// level h: the spare view stays repairable (for h = 0) because the existing
+// buffer prefix is untouched.
+func (s *Sketch[T]) markAppended(h int) {
+	s.view = nil
+	if h < 64 {
+		s.viewDirty |= uint64(1) << uint(h)
+	} else {
+		s.viewStructural = true
+	}
+}
+
+// markStructural invalidates the cached view after a mutation that reordered,
+// truncated, or rebuilt buffers (compaction, growth, merge, reset); the next
+// query rebuilds the view from scratch into the spare's storage.
+func (s *Sketch[T]) markStructural() {
+	s.view = nil
+	s.viewStructural = true
+}
+
 // Update inserts one item into the sketch.
 func (s *Sketch[T]) Update(x T) {
-	s.view = nil
+	s.markAppended(0)
 	if !s.hasMinMax {
 		s.min, s.max = x, x
 		s.hasMinMax = true
@@ -144,7 +183,7 @@ func (s *Sketch[T]) UpdateBatch(xs []T) {
 	if len(xs) == 0 {
 		return
 	}
-	s.view = nil
+	s.markAppended(0)
 	if !s.hasMinMax {
 		s.min, s.max = xs[0], xs[0]
 		s.hasMinMax = true
@@ -259,6 +298,7 @@ func (s *Sketch[T]) compactLevel(h int) {
 	if len(c.buf) > s.stats.MaxBufferLen {
 		s.stats.MaxBufferLen = len(c.buf)
 	}
+	s.markStructural()
 	s.settleLevel(h)
 
 	secs := schedule.SectionsFor(s.cfg.Schedule, c.state, s.geom.nsec)
@@ -288,6 +328,7 @@ func (s *Sketch[T]) specialCompactLevel(h int) bool {
 	if len(c.buf) <= keep {
 		return false
 	}
+	s.markStructural()
 	s.settleLevel(h)
 	s.emitHalf(h, keep)
 	c = &s.levels[h] // emitHalf may have grown s.levels and moved it
@@ -358,6 +399,7 @@ func (s *Sketch[T]) emitHalf(h, keep int) {
 // the top), square N, recompute the geometry, then re-compact any level left
 // at or above the new capacity.
 func (s *Sketch[T]) growTo(need uint64) {
+	s.markStructural()
 	for s.bound < need {
 		for h := 0; h < len(s.levels)-1; h++ {
 			s.specialCompactLevel(h)
@@ -377,7 +419,10 @@ func (s *Sketch[T]) growTo(need uint64) {
 // (it is not re-seeded), so a reset sketch is statistically fresh but not
 // bit-identical to a newly constructed one.
 func (s *Sketch[T]) Reset() {
-	s.view = nil
+	s.markStructural()
+	// Drop the recycled view outright: its arrays hold items from the old
+	// stream, which pointer-bearing item types should not keep reachable.
+	s.spare = nil
 	s.n = 0
 	s.bound = s.cfg.initialBound()
 	s.geom = s.cfg.geometryFor(s.bound)
@@ -407,6 +452,53 @@ func (s *Sketch[T]) Clone() *Sketch[T] {
 		c.levels[i].buf = append(make([]T, 0, max(len(s.levels[i].buf), 1)), s.levels[i].buf...)
 	}
 	c.view = nil
-	c.scratch = nil // never share transient state with the original
+	// Never share transient state with the original: the clone grows its
+	// own view storage and merge scratch on first use.
+	c.spare = nil
+	c.viewDirty, c.viewStructural, c.viewL0Len = 0, false, 0
+	c.scratch = nil
+	c.mergeBuf = nil
+	c.stage = nil
 	return &c
+}
+
+// CopyFrom makes s a deep copy of src (same contract as src.Clone(), but in
+// place): s summarises the same stream, continues the same random stream, and
+// shares no mutable state with src. Unlike Clone it reuses s's level buffers,
+// slices, and cached-view storage, so refreshing a long-lived staging sketch
+// from a live one allocates nothing once capacities have grown to match.
+// The sharded wrapper's snapshot rebuild uses it to re-stage shard state
+// every epoch without per-epoch garbage. s.CopyFrom(s) is a no-op.
+func (s *Sketch[T]) CopyFrom(src *Sketch[T]) {
+	if s == src {
+		return
+	}
+	s.less = src.less
+	s.cfg = src.cfg
+	if s.rnd == nil {
+		s.rnd = rng.New(0)
+	}
+	s.rnd.Restore(src.rnd.State())
+	s.n, s.bound, s.geom = src.n, src.bound, src.geom
+	s.min, s.max, s.hasMinMax = src.min, src.max, src.hasMinMax
+	s.stats = src.stats
+	if cap(s.levels) < len(src.levels) {
+		// Preserve already-grown buffers across the reallocation so they keep
+		// amortizing future copies.
+		grown := make([]compactor[T], len(src.levels))
+		for i := range s.levels {
+			grown[i].buf = s.levels[i].buf
+		}
+		s.levels = grown
+	} else {
+		s.levels = s.levels[:len(src.levels)]
+	}
+	for h := range src.levels {
+		dst := &s.levels[h]
+		dst.buf = append(dst.buf[:0], src.levels[h].buf...)
+		dst.sorted = src.levels[h].sorted
+		dst.state = src.levels[h].state
+		dst.numCompactions = src.levels[h].numCompactions
+	}
+	s.markStructural()
 }

@@ -129,6 +129,16 @@ func isSorted[T any](xs []T, less func(a, b T) bool) bool {
 	return true
 }
 
+// isSortedDesc reports whether xs is non-increasing under less.
+func isSortedDesc[T any](xs []T, less func(a, b T) bool) bool {
+	for i := 1; i < len(xs); i++ {
+		if less(xs[i-1], xs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // searchLE returns the number of elements in sorted xs that are ≤ y, i.e.,
 // the index of the first element strictly greater than y.
 func searchLE[T any](xs []T, y T, less func(a, b T) bool) int {

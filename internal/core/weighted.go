@@ -35,7 +35,9 @@ func (s *Sketch[T]) UpdateWeighted(x T, weight uint64) error {
 		s.Update(x)
 		return nil
 	}
-	s.view = nil
+	// Per-level view invalidation happens in insertAtLevel (each touched
+	// level marks its dirty bit); a weighted insert into levels ≥ 1 therefore
+	// forces a full view rebuild while plain updates stay tail-repairable.
 	if !s.hasMinMax {
 		s.min, s.max = x, x
 		s.hasMinMax = true
@@ -81,6 +83,7 @@ func (s *Sketch[T]) UpdateWeighted(x T, weight uint64) error {
 // any tail left on levels ≥ 1 is settled by the next compaction or view
 // build.
 func (s *Sketch[T]) insertAtLevel(h int, x T) {
+	s.markAppended(h)
 	for h >= len(s.levels) {
 		s.levels = append(s.levels, compactor[T]{buf: make([]T, 0, s.geom.b)})
 	}

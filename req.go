@@ -103,17 +103,53 @@ func (s *Sketch[T]) NormalizedRank(y T) float64 { return s.core.NormalizedRank(y
 func (s *Sketch[T]) Quantile(phi float64) (T, error) { return s.core.Quantile(phi) }
 
 // Quantiles returns the items at each normalized rank, sharing one sorted
-// pass over the sketch.
+// pass over the sketch. It allocates its result; hot paths that query
+// repeatedly should prefer QuantilesInto with a reused destination.
 func (s *Sketch[T]) Quantiles(phis []float64) ([]T, error) { return s.core.Quantiles(phis) }
+
+// QuantilesInto answers every normalized rank in phis against one sorted
+// view, writing into dst (grown as needed — pass the previous result back
+// in for steady-state allocation-free querying) and returning it with
+// length len(phis). Sorted phis are answered by a single forward sweep.
+func (s *Sketch[T]) QuantilesInto(dst []T, phis []float64) ([]T, error) {
+	return s.core.QuantilesInto(dst, phis)
+}
+
+// RankBatch returns the estimated inclusive rank of every probe in ys,
+// written into dst (grown as needed) in probe order. The batch is answered
+// with one galloping sweep over the sorted view — probes are visited in
+// ascending order, so per-probe cost amortizes to O(1) comparisons for
+// batches that are dense relative to the retained items. Prefer it over a
+// Rank loop whenever the probes are already in a slice.
+func (s *Sketch[T]) RankBatch(dst []uint64, ys []T) []uint64 {
+	return s.core.RankBatch(dst, ys)
+}
+
+// NormalizedRankBatch is RankBatch normalized by Count(): every entry is
+// Rank(y)/n in [0, 1] (0 on an empty sketch).
+func (s *Sketch[T]) NormalizedRankBatch(dst []float64, ys []T) []float64 {
+	return s.core.NormalizedRankBatch(dst, ys)
+}
 
 // CDF returns the estimated normalized ranks at each split point (which
 // must be ascending); the result has one more entry than splits, the last
 // being 1.
 func (s *Sketch[T]) CDF(splits []T) ([]float64, error) { return s.core.CDF(splits) }
 
+// CDFInto is CDF writing into dst (grown as needed) and returning it; the
+// whole batch is one galloping sweep over the sorted view.
+func (s *Sketch[T]) CDFInto(dst []float64, splits []T) ([]float64, error) {
+	return s.core.CDFInto(dst, splits)
+}
+
 // PMF returns the estimated probability mass of each interval delimited by
 // the ascending split points.
 func (s *Sketch[T]) PMF(splits []T) ([]float64, error) { return s.core.PMF(splits) }
+
+// PMFInto is PMF writing into dst (grown as needed) and returning it.
+func (s *Sketch[T]) PMFInto(dst []float64, splits []T) ([]float64, error) {
+	return s.core.PMFInto(dst, splits)
+}
 
 // ItemsRetained returns the number of items currently stored — the sketch's
 // footprint, O(ε⁻¹·log^1.5(εn)·√log(1/δ)) by Theorem 1.
@@ -155,11 +191,15 @@ func (s *Sketch[T]) Clone() *Sketch[T] {
 	return &Sketch[T]{core: s.core.Clone()}
 }
 
-// Freeze materializes the cached sorted view so that subsequent Quantile,
-// Quantiles, CDF and PMF calls are pure reads until the next update or
-// merge. Concurrent wrappers use it to answer quantile queries under a
-// shared (read) lock.
-func (s *Sketch[T]) Freeze() { s.core.SortedView() }
+// Freeze materializes the cached sorted view plus its Eytzinger-layout rank
+// index, so that subsequent Rank, Quantile, Quantiles, CDF and PMF calls
+// are branchless cache-friendly pure reads until the next update or merge.
+// Concurrent wrappers use it to answer quantile queries under a shared
+// (read) lock. Freezing after a small number of updates repairs the cached
+// view incrementally instead of rebuilding it, and both the view and index
+// storage are recycled across freezes, so periodic freeze-query cycles are
+// allocation-free in steady state.
+func (s *Sketch[T]) Freeze() { s.core.Freeze() }
 
 // Frozen reports whether the cached sorted view is currently materialized
 // (no update or merge has happened since the last Freeze or sorted query).

@@ -52,6 +52,14 @@ type Sharded[T any] struct {
 	// rebuildMu serializes snapshot rebuilds so racing queries do the
 	// clone-and-merge work once.
 	rebuildMu sync.Mutex
+	// stage (guarded by rebuildMu) holds one reusable staging sketch per
+	// shard: each epoch refreshes them in place with CopyFrom instead of
+	// allocating fresh deep clones under the shard locks, so the per-epoch
+	// rebuild cost is dominated by the merge itself. The merged result is
+	// still a fresh sketch every epoch — published snapshots are read
+	// lock-free by any number of goroutines for an unbounded time, so their
+	// storage can never be recycled without reference counting.
+	stage []*core.Sketch[T]
 }
 
 // shardOf is one stripe: a plain core sketch behind a mutex, plus lock-free
@@ -221,9 +229,11 @@ func (s *Sharded[T]) Count() uint64 {
 // Empty reports whether no shard has seen an item.
 func (s *Sharded[T]) Empty() bool { return s.Count() == 0 }
 
-// Reset empties every shard in place and drops the published snapshot.
-// Concurrent writers may interleave with a Reset shard-by-shard; quiesce
-// writers first if an atomic clear is required.
+// Reset empties every shard in place and drops the published snapshot and
+// the staging sketches (which hold deep copies of the old stream that
+// pointer-bearing item types should not keep reachable). Concurrent writers
+// may interleave with a Reset shard-by-shard; quiesce writers first if an
+// atomic clear is required.
 func (s *Sharded[T]) Reset() {
 	for _, sh := range s.shards {
 		sh.mu.Lock()
@@ -232,6 +242,9 @@ func (s *Sharded[T]) Reset() {
 		sh.version.Add(1)
 		sh.mu.Unlock()
 	}
+	s.rebuildMu.Lock()
+	s.stage = nil
+	s.rebuildMu.Unlock()
 	s.snap.Store(nil)
 }
 
@@ -258,26 +271,36 @@ func (s *Sharded[T]) snapshot() *shardedSnapshot[T] {
 	if sn := s.snap.Load(); sn != nil && s.fresh(sn) {
 		return sn
 	}
-	// Record epochs before cloning: a write that lands mid-build makes this
+	// Record epochs before staging: a write that lands mid-build makes this
 	// snapshot stale (conservatively), never silently lost.
 	epochs := make([]uint64, len(s.shards))
 	for i, sh := range s.shards {
 		epochs[i] = sh.version.Load()
 	}
-	var merged *core.Sketch[T]
-	for _, sh := range s.shards {
-		sh.mu.Lock()
-		c := sh.sk.Clone()
-		sh.mu.Unlock()
-		if merged == nil {
-			merged = c
-		} else {
-			// Cannot fail: every shard shares one normalized config and the
-			// clones are distinct instances.
-			_ = merged.Merge(c)
-		}
+	if s.stage == nil {
+		s.stage = make([]*core.Sketch[T], len(s.shards))
 	}
-	merged.SortedView() // freeze: queries on the snapshot are pure reads
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		if s.stage[i] == nil {
+			s.stage[i] = sh.sk.Clone()
+		} else {
+			s.stage[i].CopyFrom(sh.sk)
+		}
+		sh.mu.Unlock()
+	}
+	// Merge the staged copies off to the side. The accumulator must be a
+	// fresh sketch (it gets published), so the first stage is deep-copied;
+	// every later stage is only read by Merge.
+	merged := s.stage[0].Clone()
+	for _, st := range s.stage[1:] {
+		// Cannot fail: every shard shares one normalized config and the
+		// staged copies are distinct instances.
+		_ = merged.Merge(st)
+	}
+	// Freeze view + Eytzinger rank index: every query on the published
+	// snapshot — single or batch — is a branchless pure read.
+	merged.Freeze()
 	sn := &shardedSnapshot[T]{epochs: epochs, sk: merged}
 	s.snap.Store(sn)
 	return sn
@@ -315,6 +338,37 @@ func (s *Sharded[T]) CDF(splits []T) ([]float64, error) { return s.snapshot().sk
 // PMF returns the estimated probability mass of each interval delimited by
 // the ascending split points; see Sketch.PMF.
 func (s *Sharded[T]) PMF(splits []T) ([]float64, error) { return s.snapshot().sk.PMF(splits) }
+
+// RankBatch answers every probe in ys from one snapshot with a single
+// galloping sweep over its frozen view, writing into dst (grown as needed)
+// in probe order; see Sketch.RankBatch. This is the cheapest way to scrape
+// many thresholds from a sharded sketch: one snapshot check, one sweep.
+func (s *Sharded[T]) RankBatch(dst []uint64, ys []T) []uint64 {
+	return s.snapshot().sk.RankBatch(dst, ys)
+}
+
+// NormalizedRankBatch is RankBatch normalized by the snapshot's count.
+func (s *Sharded[T]) NormalizedRankBatch(dst []float64, ys []T) []float64 {
+	return s.snapshot().sk.NormalizedRankBatch(dst, ys)
+}
+
+// QuantilesInto answers every normalized rank in phis from one snapshot,
+// writing into dst (grown as needed); see Sketch.QuantilesInto.
+func (s *Sharded[T]) QuantilesInto(dst []T, phis []float64) ([]T, error) {
+	return s.snapshot().sk.QuantilesInto(dst, phis)
+}
+
+// CDFInto is CDF writing into dst (grown as needed), answered from one
+// snapshot; see Sketch.CDFInto.
+func (s *Sharded[T]) CDFInto(dst []float64, splits []T) ([]float64, error) {
+	return s.snapshot().sk.CDFInto(dst, splits)
+}
+
+// PMFInto is PMF writing into dst (grown as needed), answered from one
+// snapshot; see Sketch.PMFInto.
+func (s *Sharded[T]) PMFInto(dst []float64, splits []T) ([]float64, error) {
+	return s.snapshot().sk.PMFInto(dst, splits)
+}
 
 // ItemsRetained returns the item footprint of the merged snapshot (the
 // size a query works against). The live per-shard footprint is at most a

@@ -2,9 +2,11 @@ package req
 
 // Uint64 is a sketch specialised to uint64 values — timestamps, byte
 // counts, identifiers with a meaningful order. Like Float64 it supports
-// binary serialization, and inherits the batch ingest path (UpdateBatch /
-// UpdateAll) from the embedded Sketch unchanged: uint64 has no NaN to
-// filter. Not safe for concurrent use.
+// binary serialization, and inherits both the batch ingest path
+// (UpdateBatch / UpdateAll) and the batch query APIs (RankBatch,
+// NormalizedRankBatch, QuantilesInto, CDFInto, PMFInto) from the embedded
+// Sketch unchanged: uint64 has no NaN to filter on either side. Not safe
+// for concurrent use.
 type Uint64 struct {
 	Sketch[uint64]
 }
