@@ -1,0 +1,290 @@
+package req
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestAPISurfaceGolden pins the package's exported surface: every exported
+// type, function, method, variable and constant of package req, as parsed
+// from the non-test sources. An accidental addition, removal or rename
+// fails this test with a diff; intentional API changes update the golden
+// list below (and should be called out in README/CHANGES).
+func TestAPISurfaceGolden(t *testing.T) {
+	got := exportedSurface(t)
+	want := apiSurfaceGolden
+	gotSet := make(map[string]bool, len(got))
+	for _, s := range got {
+		gotSet[s] = true
+	}
+	wantSet := make(map[string]bool, len(want))
+	for _, s := range want {
+		wantSet[s] = true
+	}
+	var added, removed []string
+	for _, s := range got {
+		if !wantSet[s] {
+			added = append(added, s)
+		}
+	}
+	for _, s := range want {
+		if !gotSet[s] {
+			removed = append(removed, s)
+		}
+	}
+	if len(added) > 0 || len(removed) > 0 {
+		t.Fatalf("exported API surface changed.\nadded (%d):\n  %s\nremoved (%d):\n  %s\nfull current surface:\n  %s",
+			len(added), strings.Join(added, "\n  "),
+			len(removed), strings.Join(removed, "\n  "),
+			strings.Join(got, "\n  "))
+	}
+}
+
+// exportedSurface parses the package sources and returns the sorted list of
+// exported identifiers: "Name" for types/funcs/vars/consts, "Recv.Name"
+// for methods.
+func exportedSurface(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(".", e.Name()), nil, parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv == nil {
+					names = append(names, d.Name.Name)
+					continue
+				}
+				recv := receiverTypeName(d.Recv.List[0].Type)
+				if recv == "" || !ast.IsExported(recv) {
+					continue
+				}
+				names = append(names, fmt.Sprintf("%s.%s", recv, d.Name.Name))
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if sp.Name.IsExported() {
+							names = append(names, sp.Name.Name)
+						}
+					case *ast.ValueSpec:
+						for _, n := range sp.Names {
+							if n.IsExported() {
+								names = append(names, n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// receiverTypeName unwraps pointer and generic instantiation syntax around
+// a method receiver's type name.
+func receiverTypeName(expr ast.Expr) string {
+	for {
+		switch e := expr.(type) {
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.IndexListExpr:
+			expr = e.X
+		case *ast.Ident:
+			return e.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// apiSurfaceGolden is the blessed exported surface of package req.
+var apiSurfaceGolden = []string{
+	"AllQuantiles",
+	"ConcurrentFloat64",
+	"ConcurrentFloat64.All",
+	"ConcurrentFloat64.CDF",
+	"ConcurrentFloat64.CDFInto",
+	"ConcurrentFloat64.Count",
+	"ConcurrentFloat64.Empty",
+	"ConcurrentFloat64.ItemsRetained",
+	"ConcurrentFloat64.MarshalBinary",
+	"ConcurrentFloat64.Max",
+	"ConcurrentFloat64.Merge",
+	"ConcurrentFloat64.Min",
+	"ConcurrentFloat64.NormalizedRank",
+	"ConcurrentFloat64.NormalizedRankBatch",
+	"ConcurrentFloat64.PMF",
+	"ConcurrentFloat64.PMFInto",
+	"ConcurrentFloat64.Quantile",
+	"ConcurrentFloat64.Quantiles",
+	"ConcurrentFloat64.QuantilesInto",
+	"ConcurrentFloat64.Rank",
+	"ConcurrentFloat64.RankBatch",
+	"ConcurrentFloat64.RankExclusive",
+	"ConcurrentFloat64.Snapshot",
+	"ConcurrentFloat64.Update",
+	"ConcurrentFloat64.UpdateAll",
+	"ConcurrentFloat64.UpdateBatch",
+	"DecodeFloat64",
+	"DecodeUint64",
+	"ErrBadRank",
+	"ErrCorrupt",
+	"ErrEmpty",
+	"Float64",
+	"Float64.Clone",
+	"Float64.MarshalBinary",
+	"Float64.Merge",
+	"Float64.UnmarshalBinary",
+	"Float64.Update",
+	"Float64.UpdateAll",
+	"Float64.UpdateBatch",
+	"New",
+	"NewConcurrentFloat64",
+	"NewFloat64",
+	"NewSharded",
+	"NewShardedFloat64",
+	"NewShardedUint64",
+	"NewUint64",
+	"Option",
+	"Reader",
+	"Sharded",
+	"Sharded.All",
+	"Sharded.CDF",
+	"Sharded.CDFInto",
+	"Sharded.Count",
+	"Sharded.Empty",
+	"Sharded.ItemsRetained",
+	"Sharded.Max",
+	"Sharded.Merge",
+	"Sharded.Min",
+	"Sharded.NormalizedRank",
+	"Sharded.NormalizedRankBatch",
+	"Sharded.NumShards",
+	"Sharded.PMF",
+	"Sharded.PMFInto",
+	"Sharded.Quantile",
+	"Sharded.Quantiles",
+	"Sharded.QuantilesInto",
+	"Sharded.Rank",
+	"Sharded.RankBatch",
+	"Sharded.RankExclusive",
+	"Sharded.Reset",
+	"Sharded.Snapshot",
+	"Sharded.Update",
+	"Sharded.UpdateAll",
+	"Sharded.UpdateBatch",
+	"Sharded.UpdateWeighted",
+	"ShardedFloat64",
+	"ShardedFloat64.MarshalBinary",
+	"ShardedFloat64.Merge",
+	"ShardedFloat64.Update",
+	"ShardedFloat64.UpdateAll",
+	"ShardedFloat64.UpdateBatch",
+	"ShardedUint64",
+	"ShardedUint64.MarshalBinary",
+	"ShardedUint64.Merge",
+	"Sketch",
+	"Sketch.All",
+	"Sketch.CDF",
+	"Sketch.CDFInto",
+	"Sketch.Clone",
+	"Sketch.Count",
+	"Sketch.DebugString",
+	"Sketch.Delta",
+	"Sketch.Empty",
+	"Sketch.Epsilon",
+	"Sketch.Freeze",
+	"Sketch.Frozen",
+	"Sketch.ItemsRetained",
+	"Sketch.K",
+	"Sketch.Max",
+	"Sketch.Merge",
+	"Sketch.Min",
+	"Sketch.NormalizedRank",
+	"Sketch.NormalizedRankBatch",
+	"Sketch.NumLevels",
+	"Sketch.PMF",
+	"Sketch.PMFInto",
+	"Sketch.Quantile",
+	"Sketch.Quantiles",
+	"Sketch.QuantilesInto",
+	"Sketch.Rank",
+	"Sketch.RankBatch",
+	"Sketch.RankBounds",
+	"Sketch.RankExclusive",
+	"Sketch.Reset",
+	"Sketch.Retained",
+	"Sketch.Snapshot",
+	"Sketch.String",
+	"Sketch.Update",
+	"Sketch.UpdateAll",
+	"Sketch.UpdateBatch",
+	"Sketch.UpdateWeighted",
+	"Snapshot",
+	"Snapshot.All",
+	"Snapshot.CDF",
+	"Snapshot.CDFInto",
+	"Snapshot.Count",
+	"Snapshot.Delta",
+	"Snapshot.Empty",
+	"Snapshot.Epsilon",
+	"Snapshot.ItemsRetained",
+	"Snapshot.MarshalBinary",
+	"Snapshot.Max",
+	"Snapshot.Min",
+	"Snapshot.NormalizedRank",
+	"Snapshot.NormalizedRankBatch",
+	"Snapshot.PMF",
+	"Snapshot.PMFInto",
+	"Snapshot.Quantile",
+	"Snapshot.Quantiles",
+	"Snapshot.QuantilesInto",
+	"Snapshot.Rank",
+	"Snapshot.RankBatch",
+	"Snapshot.RankExclusive",
+	"Snapshot.String",
+	"SnapshotFloat64",
+	"SnapshotUint64",
+	"Uint64",
+	"Uint64.Clone",
+	"Uint64.MarshalBinary",
+	"Uint64.Merge",
+	"Uint64.UnmarshalBinary",
+	"UnmarshalSnapshotFloat64",
+	"UnmarshalSnapshotUint64",
+	"WeightedItem",
+	"WithDelta",
+	"WithEpsilon",
+	"WithHighRankAccuracy",
+	"WithK",
+	"WithKnownN",
+	"WithPaperConstants",
+	"WithSeed",
+	"WithShards",
+	"WithTheorem2Mode",
+}

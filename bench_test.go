@@ -249,6 +249,106 @@ func BenchmarkShardedSnapshot(b *testing.B) {
 	}
 }
 
+// BenchmarkSnapshotREQ measures the immutable-snapshot path: capturing a
+// Snapshot from a plain sketch (one deep copy of the frozen coreset),
+// re-capturing after a single write (pays an incremental view repair plus
+// the copy), and querying a captured snapshot (a pure indexed read, no
+// locks).
+func BenchmarkSnapshotREQ(b *testing.B) {
+	s, _ := NewFloat64(WithEpsilon(0.01), WithSeed(1))
+	vals := benchValues(1<<20, 2)
+	s.UpdateAll(vals)
+	b.Run("capture", func(b *testing.B) {
+		s.Freeze()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = s.Snapshot()
+		}
+	})
+	b.Run("capture-after-write", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Update(vals[i&(1<<20-1)])
+			_ = s.Snapshot()
+		}
+	})
+	b.Run("query", func(b *testing.B) {
+		snap := s.Snapshot()
+		qs := benchValues(1024, 3)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			sink += snap.Rank(qs[i&1023])
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkSnapshotShardedREQ measures Snapshot on the sharded wrapper:
+// between writes it hands out the published epoch snapshot (an atomic load
+// plus staleness check, no clone — "shared"), and after a write it pays the
+// epoch rebuild ("after-write", the same restage+merge+freeze the first
+// query after a write pays; compare BenchmarkShardedSnapshot).
+func BenchmarkSnapshotShardedREQ(b *testing.B) {
+	s, err := NewShardedFloat64(WithEpsilon(0.01), WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := benchValues(1<<20, 2)
+	for _, v := range vals {
+		s.Update(v)
+	}
+	b.Run("shared", func(b *testing.B) {
+		_ = s.Snapshot()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = s.Snapshot()
+		}
+	})
+	b.Run("after-write", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Update(vals[i&(1<<20-1)])
+			_ = s.Snapshot()
+		}
+	})
+}
+
+// BenchmarkCoresetExportREQ compares the deprecated materializing Retained
+// against the allocation-free All iterator on the same coreset.
+func BenchmarkCoresetExportREQ(b *testing.B) {
+	s, _ := NewFloat64(WithEpsilon(0.01), WithSeed(1))
+	s.UpdateAll(benchValues(1<<20, 2))
+	s.Freeze()
+	b.Run("Retained", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			for _, wi := range s.Retained() {
+				sink += wi.Weight
+			}
+		}
+		_ = sink
+	})
+	b.Run("All", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			for _, w := range s.All() {
+				sink += w
+			}
+		}
+		_ = sink
+	})
+}
+
 // --- T1: query latency ---------------------------------------------------------
 
 func BenchmarkRankREQ(b *testing.B) {

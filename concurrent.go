@@ -1,6 +1,7 @@
 package req
 
 import (
+	"iter"
 	"sync"
 )
 
@@ -60,6 +61,13 @@ func (c *ConcurrentFloat64) Count() uint64 {
 	return c.s.Count()
 }
 
+// Empty reports whether the sketch has seen no values.
+func (c *ConcurrentFloat64) Empty() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.s.Empty()
+}
+
 // Rank returns the estimated inclusive rank of y.
 //
 // Rank scans the buffers directly (it does not build the cached sorted
@@ -68,6 +76,22 @@ func (c *ConcurrentFloat64) Rank(y float64) uint64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.s.Rank(y)
+}
+
+// RankExclusive returns the estimated exclusive rank of y (#values < y).
+// Like Rank it scans the buffers directly under the read lock.
+func (c *ConcurrentFloat64) RankExclusive(y float64) uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.s.RankExclusive(y)
+}
+
+// NormalizedRank returns Rank(y)/Count() in [0, 1], both read under one
+// lock acquisition.
+func (c *ConcurrentFloat64) NormalizedRank(y float64) float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.s.NormalizedRank(y)
 }
 
 // frozenRead runs f against the wrapped sketch under the freeze discipline
@@ -127,11 +151,25 @@ func (c *ConcurrentFloat64) NormalizedRankBatch(dst []float64, ys []float64) (ou
 	return out
 }
 
+// CDF returns the estimated normalized ranks at each ascending split
+// point; see frozenRead for the locking discipline.
+func (c *ConcurrentFloat64) CDF(splits []float64) (out []float64, err error) {
+	c.frozenRead(func() { out, err = c.s.CDF(splits) })
+	return out, err
+}
+
 // CDFInto writes the estimated normalized rank at each ascending split
 // point into dst (grown as needed); see frozenRead for the locking
 // discipline. dst must not be shared with concurrent callers.
 func (c *ConcurrentFloat64) CDFInto(dst []float64, splits []float64) (out []float64, err error) {
 	c.frozenRead(func() { out, err = c.s.CDFInto(dst, splits) })
+	return out, err
+}
+
+// PMF returns the estimated probability mass of each interval delimited by
+// the ascending split points; see frozenRead for the locking discipline.
+func (c *ConcurrentFloat64) PMF(splits []float64) (out []float64, err error) {
+	c.frozenRead(func() { out, err = c.s.PMF(splits) })
 	return out, err
 }
 
@@ -180,12 +218,47 @@ func (c *ConcurrentFloat64) MarshalBinary() ([]byte, error) {
 	return c.s.MarshalBinary()
 }
 
-// Snapshot returns an independent deep copy of the current state, useful
-// for lock-free querying of a frozen view. The copy is made directly
-// (Float64.Clone) rather than through a serialization round-trip; it is
-// bit-for-bit equivalent to marshaling and decoding the sketch.
-func (c *ConcurrentFloat64) Snapshot() (*Float64, error) {
+// All iterates the weighted coreset — every retained value in ascending
+// order with its weight — under the frozenRead locking discipline: the
+// sketch's lock is held for the duration of the loop, so the yield body
+// must not call back into this wrapper AT ALL. Even read methods deadlock:
+// the loop holds the read lock, and a recursive RLock queues behind any
+// writer already waiting for the exclusive lock. Use Snapshot().All() to
+// iterate without holding the lock.
+func (c *ConcurrentFloat64) All() iter.Seq2[float64, uint64] {
+	return func(yield func(item float64, weight uint64) bool) {
+		c.frozenRead(func() {
+			for x, w := range c.s.All() {
+				if !yield(x, w) {
+					return
+				}
+			}
+		})
+	}
+}
+
+// Snapshot captures the current state as an immutable, concurrency-safe
+// Snapshot answering exactly what the wrapped sketch would at capture time;
+// queries on it never touch this wrapper's lock again. While the sketch is
+// frozen with its rank index built (the steady query-heavy state), the
+// capture is a pure O(retained) copy under the shared lock, so concurrent
+// readers are not stalled; only the first capture after a write pays an
+// exclusive acquisition to re-freeze.
+//
+// Before PR 4 this returned (*Float64, error) — a full mutable deep clone.
+// Callers that need the mutable state (to keep ingesting or merge) should
+// use MarshalBinary + DecodeFloat64 instead.
+func (c *ConcurrentFloat64) Snapshot() *SnapshotFloat64 {
 	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.s.Clone(), nil
+	if c.s.core.FrozenIndexed() {
+		// FreezeOwned on a frozen+indexed sketch mutates nothing: the view
+		// and index are current, so it reduces to copying them out.
+		f := c.s.core.FreezeOwned()
+		c.mu.RUnlock()
+		return &Snapshot[float64]{f: f}
+	}
+	c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return &Snapshot[float64]{f: c.s.core.FreezeOwned()}
 }

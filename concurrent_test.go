@@ -109,10 +109,7 @@ func TestConcurrentSnapshot(t *testing.T) {
 	for i := 0; i < 5000; i++ {
 		c.Update(float64(i))
 	}
-	snap, err := c.Snapshot()
-	if err != nil {
-		t.Fatal(err)
-	}
+	snap := c.Snapshot()
 	if snap.Count() != 5000 {
 		t.Fatalf("snapshot count = %d", snap.Count())
 	}
@@ -120,6 +117,9 @@ func TestConcurrentSnapshot(t *testing.T) {
 	c.Update(99999)
 	if snap.Count() != 5000 {
 		t.Fatal("snapshot aliases live sketch")
+	}
+	if mx, _ := snap.Max(); mx == 99999 {
+		t.Fatal("snapshot observed a post-capture write")
 	}
 	blob, err := c.MarshalBinary()
 	if err != nil {
@@ -168,9 +168,10 @@ func TestConcurrentQuantileUsesReadLock(t *testing.T) {
 	}
 }
 
-// TestConcurrentSnapshotMatchesSerde pins the equivalence the old Snapshot
-// implementation provided by construction: the direct deep clone is
-// bit-for-bit the same sketch as a MarshalBinary/DecodeFloat64 round-trip.
+// TestConcurrentSnapshotMatchesSerde pins the equivalence the Snapshot
+// contract promises: the immutable snapshot answers bit-identically to a
+// full MarshalBinary/DecodeFloat64 round-trip of the wrapped sketch, and
+// the snapshot's own coreset encoding round-trips to the same answers.
 func TestConcurrentSnapshotMatchesSerde(t *testing.T) {
 	c, err := NewConcurrentFloat64(WithEpsilon(0.05), WithSeed(6))
 	if err != nil {
@@ -179,10 +180,7 @@ func TestConcurrentSnapshotMatchesSerde(t *testing.T) {
 	for i := 0; i < 30000; i++ {
 		c.Update(float64(i % 1000))
 	}
-	snap, err := c.Snapshot()
-	if err != nil {
-		t.Fatal(err)
-	}
+	snap := c.Snapshot()
 	blob, err := c.MarshalBinary()
 	if err != nil {
 		t.Fatal(err)
@@ -191,26 +189,33 @@ func TestConcurrentSnapshotMatchesSerde(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	for q := 0.0; q <= 1000; q += 17 {
+		if snap.Rank(q) != roundTripped.Rank(q) {
+			t.Fatalf("Rank(%v): snapshot %d, serde round-trip %d", q, snap.Rank(q), roundTripped.Rank(q))
+		}
+	}
+	for _, phi := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.999, 1} {
+		a, errA := snap.Quantile(phi)
+		b, errB := roundTripped.Quantile(phi)
+		if errA != nil || errB != nil || a != b {
+			t.Fatalf("Quantile(%v): snapshot %v/%v, round-trip %v/%v", phi, a, errA, b, errB)
+		}
+	}
+	// The snapshot's coreset encoding re-encodes bit-identically.
 	snapBlob, err := snap.MarshalBinary()
 	if err != nil {
 		t.Fatal(err)
 	}
-	rtBlob, err := roundTripped.MarshalBinary()
+	restored, err := UnmarshalSnapshotFloat64(snapBlob)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(snapBlob, rtBlob) {
-		t.Fatal("clone snapshot and serde round-trip encode differently")
+	snapBlob2, err := restored.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
 	}
-	// Both continuations stay identical: same rng state, same behavior.
-	for i := 0; i < 5000; i++ {
-		snap.Update(float64(i))
-		roundTripped.Update(float64(i))
-	}
-	a, _ := snap.MarshalBinary()
-	b, _ := roundTripped.MarshalBinary()
-	if !bytes.Equal(a, b) {
-		t.Fatal("clone and round-trip diverge on identical further input")
+	if !bytes.Equal(snapBlob, snapBlob2) {
+		t.Fatal("snapshot encoding does not round-trip bit-identically")
 	}
 }
 

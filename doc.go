@@ -45,11 +45,56 @@
 //	_ = global.Merge(shard1)
 //	_ = global.Merge(shard2)
 //
+// # Readers and snapshots
+//
+// The API splits into writers and readers. Every container — Sketch[T],
+// Float64, Uint64, Sharded[T], ConcurrentFloat64 — satisfies the Reader[T]
+// interface, the complete query surface (ranks, quantiles, CDF/PMF, the
+// batch variants, and the All coreset iterator), so query-side code can be
+// written once against Reader and handed any of them.
+//
+// Snapshot[T] is the immutable reader: every container's Snapshot() method
+// captures the current coreset (plus its rank index) as a Snapshot that
+// owns its storage, answers exactly what the source would have answered at
+// capture time, and is safe for any number of goroutines with no locks —
+// while the source keeps writing. Three tools cover the freeze/copy
+// spectrum:
+//
+//   - Freeze makes the live sketch itself cheap to query (view + rank
+//     index materialized in place); the next write undoes it. No copy,
+//     no concurrency safety — use it for query-heavy phases on one
+//     goroutine.
+//   - Snapshot copies the frozen coreset out (on Sharded it is free
+//     between writes: the published epoch snapshot is handed out
+//     directly, no per-call clone). Use it to hand consistent state to
+//     other goroutines, scrape loops, or read replicas.
+//   - Clone copies the full mutable state (levels, RNG), so the copy can
+//     keep ingesting or merge elsewhere.
+//
+// The weighted coreset is exported by the Go-1.23-style iterator All —
+// every retained item in ascending order with its weight, allocation-free:
+//
+//	for item, weight := range s.All() { ... }
+//
+// On a live sketch the iteration walks sketch-owned storage (do not write
+// mid-loop); on a Snapshot it is lock-free and immutable. Retained, which
+// materializes the same pairs into a slice, is deprecated in favour of All.
+//
 // # Serialization
 //
-// Float64 sketches round-trip through encoding.BinaryMarshaler /
-// BinaryUnmarshaler, including the internal random-generator state, so a
+// Float64 and Uint64 sketches round-trip through encoding.BinaryMarshaler
+// / BinaryUnmarshaler, including the internal random-generator state, so a
 // restored sketch continues bit-for-bit identically.
+//
+// Snapshots serialize too, as a query-only record of the same versioned
+// format: Snapshot.MarshalBinary encodes just the coreset (items, varint
+// weights, min/max, config header) and UnmarshalSnapshotFloat64 /
+// UnmarshalSnapshotUint64 restore an immutable queryable Snapshot. Ship
+// full sketch state to peers that must keep ingesting or merging; ship
+// snapshot records to read replicas that only answer queries — they decode
+// straight into the indexed reader, carry no mutable state, and cannot be
+// mistaken for a resumable sketch (each decoder rejects the other record
+// kind with ErrCorrupt).
 //
 // # Modes
 //
@@ -102,7 +147,9 @@
 // Rank/Quantile/CDF call a pure indexed read until the next write. Call it
 // when entering a query-heavy phase; single queries after writes do not pay
 // for it. The concurrent wrappers freeze for you: ConcurrentFloat64 before
-// answering under the shared lock, Sharded before publishing a snapshot.
+// answering under the shared lock, Sharded before publishing an epoch
+// snapshot. A Snapshot carries its own copy of the frozen view and index,
+// which is why its queries never touch the source again.
 //
 // When several probes are answered at once, prefer the batch APIs —
 // RankBatch, NormalizedRankBatch, QuantilesInto, CDFInto, PMFInto — over a
@@ -140,4 +187,18 @@
 // determinism matters; choose Sharded when many goroutines ingest hot
 // streams. Sharding per goroutine with plain sketches and merging manually
 // remains the fastest option when the application controls the goroutines.
+//
+// # API change in PR 4: Snapshot unification
+//
+// Snapshot() used to return three different types — Sharded[T].Snapshot a
+// *mutable* *Sketch[T] deep clone, ConcurrentFloat64.Snapshot a
+// (*Float64, error) clone, and Float64/Uint64 none at all. All containers
+// now return the immutable *Snapshot[T] (*SnapshotFloat64 /
+// *SnapshotUint64 for the concrete types). Migration: code that only
+// queried the old snapshot works unchanged apart from the dropped error
+// return; code that mutated it (Update/Merge on the clone) should either
+// serialize full sketch state (MarshalBinary + DecodeFloat64/DecodeUint64)
+// or keep its own plain sketch and Merge into it. Sharded snapshots are
+// now free between writes — the published epoch snapshot is shared, not
+// cloned per call.
 package req

@@ -156,13 +156,39 @@ func inProcess(data []float64) {
 		s.Count(), s.ItemsRetained())
 	report(data, s.Quantile)
 
-	// The merged state is a plain sketch: serialize it and it joins the
-	// cross-machine pipeline above like any other worker's shard.
+	// Two ways to ship the merged state. Full sketch state joins the
+	// cross-machine merge pipeline above like any other worker's shard;
+	// the immutable query snapshot is the record a read replica needs to
+	// answer queries (and nothing else) — slightly larger on the wire
+	// (per-item weights ride along), but it decodes straight into an
+	// indexed reader with no mutable state attached.
 	blob, err := s.MarshalBinary()
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("serialized merged snapshot: %d bytes\n", len(blob))
+	snap := s.Snapshot() // shared epoch snapshot: no clone between writes
+	snapBlob, err := snap.MarshalBinary()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("serialized merged state: %d bytes full sketch, %d bytes query-only snapshot\n",
+		len(blob), len(snapBlob))
+	replica, err := req.UnmarshalSnapshotFloat64(snapBlob)
+	if err != nil {
+		panic(err)
+	}
+	if p99a, _ := snap.Quantile(0.99); p99a != mustQ(replica.Quantile(0.99)) {
+		panic("replica snapshot answers differently")
+	}
+	fmt.Printf("read replica restored from snapshot: n=%d, p99 matches\n", replica.Count())
+}
+
+// mustQ unwraps a quantile result in the replica cross-check.
+func mustQ(v float64, err error) float64 {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }
 
 // report checks estimated quantiles against the exact distribution.

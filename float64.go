@@ -45,10 +45,12 @@ func (s *Float64) UpdateAll(vs []float64) {
 	s.UpdateBatch(vs)
 }
 
-// The batch query APIs (RankBatch, NormalizedRankBatch, QuantilesInto,
-// CDFInto, PMFInto) are inherited from the embedded Sketch unchanged. Like
-// Rank, they do not filter NaN probes — a NaN has no defined rank under <,
-// so callers should screen probe sets the way FilterNaN screens ingest.
+// The query surface — the full Reader interface, including the batch APIs
+// (RankBatch, NormalizedRankBatch, QuantilesInto, CDFInto, PMFInto), the
+// All coreset iterator, and Snapshot (returning *SnapshotFloat64) — is
+// inherited from the embedded Sketch unchanged. Like Rank, queries do not
+// filter NaN probes — a NaN has no defined rank under <, so callers should
+// screen probe sets the way FilterNaN screens ingest.
 
 // Clone returns a deep copy of the sketch; see Sketch.Clone.
 func (s *Float64) Clone() *Float64 {

@@ -1,6 +1,8 @@
 package req
 
 import (
+	"bytes"
+	"errors"
 	"math"
 	"testing"
 )
@@ -11,7 +13,8 @@ import (
 // FuzzDecodeFloat64 asserts the decoder never panics and that anything it
 // accepts is a structurally valid sketch.
 func FuzzDecodeFloat64(f *testing.F) {
-	// Seed corpus: valid encodings of various shapes plus garbage.
+	// Seed corpus: valid encodings of various shapes plus garbage — and a
+	// snapshot record, which the full-sketch decoder must reject.
 	empty, _ := NewFloat64(WithEpsilon(0.1))
 	blob, _ := empty.MarshalBinary()
 	f.Add(blob)
@@ -25,10 +28,15 @@ func FuzzDecodeFloat64(f *testing.F) {
 	mut := append([]byte(nil), blob2...)
 	mut[10] ^= 0xFF
 	f.Add(mut)
+	snapBlob, _ := full.Snapshot().MarshalBinary()
+	f.Add(snapBlob)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := DecodeFloat64(data)
 		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("rejection not wrapped in ErrCorrupt: %v", err)
+			}
 			return
 		}
 		// Accepted sketches must be internally consistent and usable.
@@ -40,6 +48,80 @@ func FuzzDecodeFloat64(f *testing.F) {
 		_ = s.Rank(0)
 		if _, err := s.MarshalBinary(); err != nil {
 			t.Fatalf("accepted sketch cannot re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeSnapshotFloat64 asserts the snapshot decoder never panics,
+// rejects corruption with ErrCorrupt, and that anything it accepts is a
+// queryable snapshot whose re-encoding round-trips bit-identically.
+func FuzzDecodeSnapshotFloat64(f *testing.F) {
+	// Seed corpus: valid snapshot records of several shapes, mutations of
+	// one, and a full sketch record (must be rejected).
+	empty, _ := NewFloat64(WithEpsilon(0.1))
+	emptyBlob, _ := empty.Snapshot().MarshalBinary()
+	f.Add(emptyBlob)
+
+	full := mustFuzzSketch()
+	snapBlob, _ := full.Snapshot().MarshalBinary()
+	f.Add(snapBlob)
+	sketchBlob, _ := full.MarshalBinary()
+	f.Add(sketchBlob)
+	f.Add([]byte{})
+	f.Add(snapBlob[:len(snapBlob)/2])
+	for _, off := range []int{5, 6, 40, 60, len(snapBlob) - 9} {
+		mut := append([]byte(nil), snapBlob...)
+		mut[off] ^= 0xFF
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sn, err := UnmarshalSnapshotFloat64(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("rejection not wrapped in ErrCorrupt: %v", err)
+			}
+			return
+		}
+		// Accepted snapshots must be internally consistent and usable.
+		if sn.Count() > 0 {
+			q, err := sn.Quantile(0.5)
+			if err != nil {
+				t.Fatalf("accepted snapshot cannot answer quantile: %v", err)
+			}
+			mn, _ := sn.Min()
+			mx, _ := sn.Max()
+			if q < mn || mx < q {
+				t.Fatalf("median %v outside [%v, %v]", q, mn, mx)
+			}
+			var total uint64
+			for _, w := range sn.All() {
+				total += w
+			}
+			if total != sn.Count() {
+				t.Fatalf("coreset weights sum to %d, count is %d", total, sn.Count())
+			}
+		}
+		_ = sn.Rank(0)
+		// Re-encoding reaches a fixed point after one round trip (the first
+		// decode may normalize config defaults) and preserves answers.
+		reblob, err := sn.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted snapshot cannot re-encode: %v", err)
+		}
+		sn2, err := UnmarshalSnapshotFloat64(reblob)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot rejected: %v", err)
+		}
+		if sn2.Count() != sn.Count() || sn2.Rank(0.5) != sn.Rank(0.5) {
+			t.Fatal("re-encoded snapshot answers differently")
+		}
+		reblob2, err := sn2.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(reblob, reblob2) {
+			t.Fatal("snapshot re-encoding is not a fixed point")
 		}
 	})
 }

@@ -174,16 +174,10 @@ func (s *Sketch[T]) PMF(splits []T) ([]float64, error) {
 
 // PMFInto is PMF writing into dst (grown as needed) and returning it.
 func (s *Sketch[T]) PMFInto(dst []float64, splits []T) ([]float64, error) {
-	dst, err := s.CDFInto(dst, splits)
-	if err != nil {
-		return nil, err
+	if s.n == 0 {
+		return nil, ErrEmpty
 	}
-	prev := 0.0
-	for i, c := range dst {
-		dst[i] = c - prev
-		prev = c
-	}
-	return dst, nil
+	return s.SortedView().PMFInto(dst, splits)
 }
 
 // View is a sorted snapshot of the sketch's weighted coreset: items
@@ -212,6 +206,15 @@ type View[T any] struct {
 // un-freeze the sketch; SortedView (or the root package's Freeze) freezes
 // it again.
 func (s *Sketch[T]) Frozen() bool { return s.view != nil }
+
+// FrozenIndexed reports whether both the cached sorted view and its
+// Eytzinger rank index are current, i.e. whether Freeze (and FreezeOwned)
+// would mutate nothing. Concurrent wrappers use it to take owned snapshots
+// under a shared lock. An empty materialized view counts: buildIndex is a
+// no-op on it, so freezing again still mutates nothing.
+func (s *Sketch[T]) FrozenIndexed() bool {
+	return s.view != nil && (s.view.idx.built || len(s.view.items) == 0)
+}
 
 // SortedView materializes (and caches) the sorted weighted view.
 //
@@ -692,6 +695,22 @@ func (v *View[T]) CDFInto(dst []float64, splits []T) ([]float64, error) {
 		}
 	}
 	dst[len(splits)] = 1
+	return dst, nil
+}
+
+// PMFInto writes the estimated probability mass of each interval delimited
+// by the ascending split points into dst (grown as needed): one CDF sweep
+// followed by adjacent differencing.
+func (v *View[T]) PMFInto(dst []float64, splits []T) ([]float64, error) {
+	dst, err := v.CDFInto(dst, splits)
+	if err != nil {
+		return nil, err
+	}
+	prev := 0.0
+	for i, c := range dst {
+		dst[i] = c - prev
+		prev = c
+	}
 	return dst, nil
 }
 

@@ -3,6 +3,7 @@ package req
 import (
 	"errors"
 	"fmt"
+	"iter"
 
 	"req/internal/core"
 )
@@ -168,18 +169,52 @@ type WeightedItem[T any] struct {
 	Weight uint64
 }
 
-// Retained returns the sketch's weighted coreset: every stored item in
-// ascending order with its weight. Weights sum to Count() exactly. This is
-// the raw material for custom serialization of generic item types or for
-// exporting the summary to other systems.
+// All iterates the sketch's weighted coreset: every retained item in
+// ascending order with the weight it carries. Weights sum to Count()
+// exactly. This is the raw material for custom serialization of generic
+// item types or for exporting the summary to other systems, and it
+// allocates nothing — the iteration walks the sketch's cached sorted view
+// in place (building it on first use).
+//
+// The sketch must not be mutated while the iteration is in progress: the
+// view being walked is owned by the sketch and recycled on the next write.
+// To iterate a coreset that outlives writes, take a Snapshot and range over
+// its All instead.
+func (s *Sketch[T]) All() iter.Seq2[T, uint64] {
+	return func(yield func(item T, weight uint64) bool) {
+		v := s.core.SortedView()
+		for i, x := range v.Items() {
+			if !yield(x, v.Weight(i)) {
+				return
+			}
+		}
+	}
+}
+
+// Retained returns the sketch's weighted coreset as a freshly allocated
+// slice.
+//
+// Deprecated: range over All instead, which yields the same (item, weight)
+// pairs in the same order without allocating the slice. Retained is kept as
+// a thin wrapper for callers that want materialized storage.
 func (s *Sketch[T]) Retained() []WeightedItem[T] {
-	v := s.core.SortedView()
-	out := make([]WeightedItem[T], v.Size())
-	items := v.Items()
-	for i := range out {
-		out[i] = WeightedItem[T]{Item: items[i], Weight: v.Weight(i)}
+	out := make([]WeightedItem[T], 0, s.ItemsRetained())
+	for item, weight := range s.All() {
+		out = append(out, WeightedItem[T]{Item: item, Weight: weight})
 	}
 	return out
+}
+
+// Snapshot captures the sketch's current state as an immutable,
+// concurrency-safe Snapshot: a deep copy of the frozen coreset plus its
+// rank index, answering every query exactly as the live sketch would at
+// capture time, forever. It freezes the sketch as a side effect and costs
+// one O(retained) copy. Contrast with Freeze, which makes the live sketch
+// itself cheap to query but whose effect the next write undoes, and with
+// Clone, which copies the full mutable state (levels, RNG) so the copy can
+// keep ingesting.
+func (s *Sketch[T]) Snapshot() *Snapshot[T] {
+	return &Snapshot[T]{f: s.core.FreezeOwned()}
 }
 
 // Clone returns a deep copy of the sketch sharing no mutable state with s.

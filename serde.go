@@ -10,25 +10,40 @@ import (
 	"req/internal/schedule"
 )
 
-// Binary serialization for Float64 and Uint64 sketches. The format is
-// self-describing and versioned; it captures the full sketch state
-// including the random generator, so a restored sketch continues exactly
-// where the original stopped. All integers are little-endian.
+// Binary serialization for Float64 and Uint64 sketches and snapshots. The
+// format is self-describing and versioned, with two record kinds sharing
+// one header (flag bit4 distinguishes them):
 //
-// Layout:
+//   - a FULL SKETCH record captures complete sketch state including the
+//     random generator, so a restored sketch continues exactly where the
+//     original stopped (MarshalBinary / DecodeFloat64 / DecodeUint64);
+//   - a SNAPSHOT record captures only the queryable coreset — items,
+//     weights, min/max and the config header — the query-only state a read
+//     replica needs, decoding straight into an immutable indexed reader
+//     (Snapshot.MarshalBinary / UnmarshalSnapshotFloat64 /
+//     UnmarshalSnapshotUint64).
+//
+// Decoders reject the other kind's records with ErrCorrupt rather than
+// misreading them. All integers are little-endian.
+//
+// Common header:
 //
 //	magic   [4]byte  "REQ1"
 //	version uint8    (1)
 //	itype   uint8    item type (0 float64, 1 uint64)
 //	mode    uint8    core.Mode
 //	sched   uint8    schedule.Kind
-//	flags   uint8    bit0 HRA, bit1 PaperConstants, bit2 DetCoin, bit3 hasMinMax
+//	flags   uint8    bit0 HRA, bit1 PaperConstants, bit2 DetCoin,
+//	                 bit3 hasMinMax, bit4 snapshot record
 //	eps     float64
 //	delta   float64
 //	khat    float64
 //	fixedK  uint32
 //	seed    uint64
 //	n       uint64
+//
+// Full sketch records continue:
+//
 //	bound   uint64
 //	n0      uint64
 //	min     item
@@ -36,6 +51,16 @@ import (
 //	rng     uint64 word, uint64 bits, uint8 nbits
 //	stats   5×uint64, uint32 (compactions, special, growths, merges, coins, maxbuf)
 //	levels  uint8 count, then per level: uint64 state, uint32 len, len×item
+//
+// Snapshot records continue:
+//
+//	n0      uint64
+//	min     item
+//	max     item
+//	size    uint32   number of coreset entries
+//	items   size×item     (ascending)
+//	weights size×uvarint  (per-item weights, summing to n; weights are
+//	                       small powers of two, so most take one byte)
 var (
 	magic = [4]byte{'R', 'E', 'Q', '1'}
 
@@ -44,6 +69,10 @@ var (
 )
 
 const formatVersion = 1
+
+// flagSnapshotRecord marks a snapshot (coreset-only) record in the flags
+// byte; full sketch records keep it clear.
+const flagSnapshotRecord = 16
 
 // Item type tags used in the encoding header.
 const (
@@ -147,49 +176,77 @@ func marshalSnapshot[T any](snap core.Snapshot[T], codec itemCodec[T]) ([]byte, 
 	return out, nil
 }
 
+// decodeHeader parses the header fields shared by both record kinds —
+// magic through the stream length n — validating magic, version, item
+// type, and that the record is of the wanted kind (the other kind is
+// rejected with ErrCorrupt and a pointer to the right decoder). The
+// returned flags carry the hasMinMax bit (bit3).
+func decodeHeader(r *reader, tag byte, wantSnapshot bool) (cfg core.Config, flags byte, n uint64, err error) {
+	var m [4]byte
+	if !r.bytes(m[:]) || m != magic {
+		return cfg, 0, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	version, ok := r.u8()
+	if !ok || version != formatVersion {
+		return cfg, 0, 0, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, version)
+	}
+	itype, ok := r.u8()
+	if !ok || itype != tag {
+		return cfg, 0, 0, fmt.Errorf("%w: item type %d does not match the decoder's item type", ErrCorrupt, itype)
+	}
+	mode, ok1 := r.u8()
+	sched, ok2 := r.u8()
+	fl, ok3 := r.u8()
+	if !ok1 || !ok2 || !ok3 {
+		return cfg, 0, 0, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	if isSnap := fl&flagSnapshotRecord != 0; isSnap != wantSnapshot {
+		if isSnap {
+			return cfg, 0, 0, fmt.Errorf("%w: data encodes a query snapshot, not a full sketch; decode with UnmarshalSnapshotFloat64/UnmarshalSnapshotUint64", ErrCorrupt)
+		}
+		return cfg, 0, 0, fmt.Errorf("%w: data encodes a full sketch, not a query snapshot; decode with DecodeFloat64/DecodeUint64", ErrCorrupt)
+	}
+	cfg.Mode = core.Mode(mode)
+	cfg.Schedule = schedule.Kind(sched)
+	cfg.HRA = fl&1 != 0
+	cfg.PaperConstants = fl&2 != 0
+	cfg.DetCoin = fl&4 != 0
+	okAll := true
+	u64 := func() uint64 {
+		v, ok := r.u64()
+		okAll = okAll && ok
+		return v
+	}
+	cfg.Eps = math.Float64frombits(u64())
+	cfg.Delta = math.Float64frombits(u64())
+	cfg.KHat = math.Float64frombits(u64())
+	k, okK := r.u32()
+	okAll = okAll && okK
+	cfg.K = int(k)
+	cfg.Seed = u64()
+	n = u64()
+	if !okAll {
+		return cfg, 0, 0, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	return cfg, fl, n, nil
+}
+
 // unmarshalSnapshot decodes bytes produced by marshalSnapshot. It never
 // panics on corrupt input.
 func unmarshalSnapshot[T any](data []byte, codec itemCodec[T]) (core.Snapshot[T], error) {
 	var snap core.Snapshot[T]
 	r := reader{buf: data}
-	var m [4]byte
-	if !r.bytes(m[:]) || m != magic {
-		return snap, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	cfg, flags, n, err := decodeHeader(&r, codec.tag, false)
+	if err != nil {
+		return snap, err
 	}
-	version, ok := r.u8()
-	if !ok || version != formatVersion {
-		return snap, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, version)
-	}
-	itype, ok := r.u8()
-	if !ok || itype != codec.tag {
-		return snap, fmt.Errorf("%w: item type %d does not match sketch type", ErrCorrupt, itype)
-	}
-	mode, ok1 := r.u8()
-	sched, ok2 := r.u8()
-	flags, ok3 := r.u8()
-	if !ok1 || !ok2 || !ok3 {
-		return snap, fmt.Errorf("%w: truncated header", ErrCorrupt)
-	}
-	snap.Config.Mode = core.Mode(mode)
-	snap.Config.Schedule = schedule.Kind(sched)
-	snap.Config.HRA = flags&1 != 0
-	snap.Config.PaperConstants = flags&2 != 0
-	snap.Config.DetCoin = flags&4 != 0
+	snap.Config = cfg
+	snap.N = n
 	snap.HasMinMax = flags&8 != 0
 
 	okAll := true
-	getF := func() float64 {
-		v, ok := r.u64()
-		okAll = okAll && ok
-		return math.Float64frombits(v)
-	}
 	getU64 := func() uint64 {
 		v, ok := r.u64()
-		okAll = okAll && ok
-		return v
-	}
-	getU32 := func() uint32 {
-		v, ok := r.u32()
 		okAll = okAll && ok
 		return v
 	}
@@ -199,12 +256,6 @@ func unmarshalSnapshot[T any](data []byte, codec itemCodec[T]) (core.Snapshot[T]
 		return v
 	}
 
-	snap.Config.Eps = getF()
-	snap.Config.Delta = getF()
-	snap.Config.KHat = getF()
-	snap.Config.K = int(getU32())
-	snap.Config.Seed = getU64()
-	snap.N = getU64()
 	snap.Bound = getU64()
 	snap.Config.N0 = getU64()
 	snap.Min = getItem()
@@ -219,7 +270,9 @@ func unmarshalSnapshot[T any](data []byte, codec itemCodec[T]) (core.Snapshot[T]
 	snap.Stats.Growths = getU64()
 	snap.Stats.Merges = getU64()
 	snap.Stats.CoinFlips = getU64()
-	snap.Stats.MaxBufferLen = int(getU32())
+	maxBuf, okMB := r.u32()
+	okAll = okAll && okMB
+	snap.Stats.MaxBufferLen = int(maxBuf)
 	if !okAll {
 		return snap, fmt.Errorf("%w: truncated body", ErrCorrupt)
 	}
@@ -234,7 +287,8 @@ func unmarshalSnapshot[T any](data []byte, codec itemCodec[T]) (core.Snapshot[T]
 		if !ok1 || !ok2 || int(count) > maxDecodedLevelItems {
 			return snap, fmt.Errorf("%w: level %d header", ErrCorrupt, h)
 		}
-		if r.remaining() < int(count)*8 {
+		// int64 math: int(count)*8 can overflow a 32-bit int at the cap.
+		if int64(r.remaining()) < int64(count)*8 {
 			return snap, fmt.Errorf("%w: level %d items truncated", ErrCorrupt, h)
 		}
 		items := make([]T, count)
@@ -311,6 +365,172 @@ func DecodeUint64(data []byte) (*Uint64, error) {
 	return &s, nil
 }
 
+// maxDecodedCoresetItems caps the coreset allocation while decoding
+// untrusted snapshot bytes; no valid snapshot approaches it.
+const maxDecodedCoresetItems = 1 << 28
+
+// codecFor returns the item codec for T when T is one of the serializable
+// item types (float64, uint64).
+func codecFor[T any]() (itemCodec[T], bool) {
+	var boxed any
+	var zero T
+	switch any(zero).(type) {
+	case float64:
+		boxed = float64Codec
+	case uint64:
+		boxed = uint64Codec
+	default:
+		return itemCodec[T]{}, false
+	}
+	return boxed.(itemCodec[T]), true
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler: it encodes the
+// snapshot's coreset (items, varint weights, min/max, config header) as a
+// snapshot record of the package's versioned binary format — a query-only
+// encoding decoded by UnmarshalSnapshotFloat64 / UnmarshalSnapshotUint64
+// into an immutable indexed reader, carrying none of the sketch's mutable
+// state. Only float64 and uint64 snapshots serialize; for other item
+// types, export the coreset through All.
+func (sn *Snapshot[T]) MarshalBinary() ([]byte, error) {
+	codec, ok := codecFor[T]()
+	if !ok {
+		return nil, fmt.Errorf("req: snapshot serialization supports float64 and uint64 items only; range over All to export other types")
+	}
+	return marshalFrozen(sn.f, codec)
+}
+
+// marshalFrozen encodes a frozen coreset as a snapshot record.
+func marshalFrozen[T any](f *core.Frozen[T], codec itemCodec[T]) ([]byte, error) {
+	cfg := f.Config()
+	items := f.Items()
+	size := 4 + 2 + 4 + 8*3 + 4 + 8*3 + 8*2 + 4 + 10*len(items)
+	out := make([]byte, 0, size)
+	out = append(out, magic[:]...)
+	out = append(out, formatVersion, codec.tag, byte(cfg.Mode), byte(cfg.Schedule))
+	flags := byte(flagSnapshotRecord)
+	if cfg.HRA {
+		flags |= 1
+	}
+	if cfg.PaperConstants {
+		flags |= 2
+	}
+	if cfg.DetCoin {
+		flags |= 4
+	}
+	mn, hasMinMax := f.Min()
+	mx, _ := f.Max()
+	if hasMinMax {
+		flags |= 8
+	}
+	out = append(out, flags)
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(cfg.Eps))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(cfg.Delta))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(cfg.KHat))
+	out = binary.LittleEndian.AppendUint32(out, uint32(cfg.K))
+	out = binary.LittleEndian.AppendUint64(out, cfg.Seed)
+	out = binary.LittleEndian.AppendUint64(out, f.Count())
+	out = binary.LittleEndian.AppendUint64(out, cfg.N0)
+	out = codec.put(out, mn)
+	out = codec.put(out, mx)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(items)))
+	for _, v := range items {
+		out = codec.put(out, v)
+	}
+	for i := range items {
+		out = binary.AppendUvarint(out, f.Weight(i))
+	}
+	return out, nil
+}
+
+// unmarshalFrozen decodes a snapshot record into a frozen coreset. It
+// never panics on corrupt input; every rejection is wrapped in ErrCorrupt.
+func unmarshalFrozen[T any](data []byte, less func(a, b T) bool, codec itemCodec[T]) (*core.Frozen[T], error) {
+	r := reader{buf: data}
+	cfg, flags, n, err := decodeHeader(&r, codec.tag, true)
+	if err != nil {
+		return nil, err
+	}
+	hasMinMax := flags&8 != 0
+
+	okAll := true
+	n0, okN0 := r.u64()
+	okAll = okAll && okN0
+	cfg.N0 = n0
+	getItem := func() T {
+		v, ok := codec.get(&r)
+		okAll = okAll && ok
+		return v
+	}
+	mn := getItem()
+	mx := getItem()
+	size, okSize := r.u32()
+	okAll = okAll && okSize
+	if !okAll {
+		return nil, fmt.Errorf("%w: truncated snapshot header", ErrCorrupt)
+	}
+	// Items are fixed-width; weights are varints, so only a lower bound on
+	// the remaining payload can be checked up front (one byte per weight).
+	// The bound is computed in int64: int(size)*9 would overflow a 32-bit
+	// int for attacker-chosen sizes and let a tiny record through to a
+	// gigabyte allocation.
+	if int(size) > maxDecodedCoresetItems || int64(r.remaining()) < int64(size)*9 {
+		return nil, fmt.Errorf("%w: coreset size %d does not match payload", ErrCorrupt, size)
+	}
+	if hasMinMax {
+		if err := codec.validate(mn); err != nil {
+			return nil, fmt.Errorf("%w: min: %v", ErrCorrupt, err)
+		}
+		if err := codec.validate(mx); err != nil {
+			return nil, fmt.Errorf("%w: max: %v", ErrCorrupt, err)
+		}
+	}
+	items := make([]T, size)
+	for i := range items {
+		items[i], _ = codec.get(&r)
+		if err := codec.validate(items[i]); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+	}
+	weights := make([]uint64, size)
+	for i := range weights {
+		w, ok := r.uvarint()
+		if !ok {
+			return nil, fmt.Errorf("%w: weight %d truncated", ErrCorrupt, i)
+		}
+		weights[i] = w
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.remaining())
+	}
+	f, err := core.FrozenFromCoreset(less, cfg, n, mn, mx, hasMinMax, items, weights)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return f, nil
+}
+
+// UnmarshalSnapshotFloat64 decodes a snapshot record produced by
+// SnapshotFloat64.MarshalBinary into an immutable queryable snapshot.
+// Corrupt input returns ErrCorrupt (wrapped with detail); it never panics.
+func UnmarshalSnapshotFloat64(data []byte) (*SnapshotFloat64, error) {
+	f, err := unmarshalFrozen(data, func(a, b float64) bool { return a < b }, float64Codec)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot[float64]{f: f}, nil
+}
+
+// UnmarshalSnapshotUint64 decodes a snapshot record produced by
+// SnapshotUint64.MarshalBinary; see UnmarshalSnapshotFloat64.
+func UnmarshalSnapshotUint64(data []byte) (*SnapshotUint64, error) {
+	f, err := unmarshalFrozen(data, func(a, b uint64) bool { return a < b }, uint64Codec)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot[uint64]{f: f}, nil
+}
+
 // reader is a bounds-checked cursor over the encoded bytes.
 type reader struct {
 	buf []byte
@@ -352,5 +572,14 @@ func (r *reader) u64() (uint64, bool) {
 	}
 	v := binary.LittleEndian.Uint64(r.buf[r.off:])
 	r.off += 8
+	return v, true
+}
+
+func (r *reader) uvarint() (uint64, bool) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, false
+	}
+	r.off += n
 	return v, true
 }

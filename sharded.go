@@ -1,6 +1,7 @@
 package req
 
 import (
+	"iter"
 	"math"
 	"runtime"
 	"sync"
@@ -78,12 +79,14 @@ type shardOf[T any] struct {
 }
 
 // shardedSnapshot is an immutable published view: the merged sketch (with
-// its sorted view frozen) plus the per-shard versions observed before the
-// merge. A snapshot is fresh while every shard still has its recorded
-// version.
+// its sorted view frozen), the public Snapshot wrapping that frozen state
+// (shared by every reader of this epoch — Snapshot() hands it out without
+// cloning), and the per-shard versions observed before the merge. A
+// snapshot is fresh while every shard still has its recorded version.
 type shardedSnapshot[T any] struct {
 	epochs []uint64
 	sk     *core.Sketch[T]
+	pub    *Snapshot[T]
 }
 
 // shardedSeedStride separates the per-shard random streams; any odd
@@ -299,88 +302,107 @@ func (s *Sharded[T]) snapshot() *shardedSnapshot[T] {
 		_ = merged.Merge(st)
 	}
 	// Freeze view + Eytzinger rank index: every query on the published
-	// snapshot — single or batch — is a branchless pure read.
-	merged.Freeze()
-	sn := &shardedSnapshot[T]{epochs: epochs, sk: merged}
+	// snapshot — single or batch — is a branchless pure read. The public
+	// Snapshot aliases the merged sketch's frozen view directly
+	// (FreezeShared): the merged sketch is fresh every epoch and never
+	// mutated after publication, so no copy is needed.
+	sn := &shardedSnapshot[T]{epochs: epochs, sk: merged, pub: &Snapshot[T]{f: merged.FreezeShared()}}
 	s.snap.Store(sn)
 	return sn
 }
 
+// reader returns the current epoch's published immutable reader, rebuilding
+// the snapshot first if any shard changed. Every query method delegates
+// through it, so the whole query surface is answered by the one frozen
+// Snapshot implementation.
+func (s *Sharded[T]) reader() *Snapshot[T] { return s.snapshot().pub }
+
 // Min returns the smallest item seen as of the current snapshot. ok is
 // false when empty.
-func (s *Sharded[T]) Min() (item T, ok bool) { return s.snapshot().sk.Min() }
+func (s *Sharded[T]) Min() (item T, ok bool) { return s.reader().Min() }
 
 // Max returns the largest item seen as of the current snapshot. ok is
 // false when empty.
-func (s *Sharded[T]) Max() (item T, ok bool) { return s.snapshot().sk.Max() }
+func (s *Sharded[T]) Max() (item T, ok bool) { return s.reader().Max() }
 
 // Rank returns the estimated inclusive rank of y; see Sketch.Rank.
-func (s *Sharded[T]) Rank(y T) uint64 { return s.snapshot().sk.Rank(y) }
+func (s *Sharded[T]) Rank(y T) uint64 { return s.reader().Rank(y) }
 
 // RankExclusive returns the estimated exclusive rank of y.
-func (s *Sharded[T]) RankExclusive(y T) uint64 { return s.snapshot().sk.RankExclusive(y) }
+func (s *Sharded[T]) RankExclusive(y T) uint64 { return s.reader().RankExclusive(y) }
 
 // NormalizedRank returns Rank(y)/Count() in [0, 1], both evaluated on one
 // snapshot.
-func (s *Sharded[T]) NormalizedRank(y T) float64 { return s.snapshot().sk.NormalizedRank(y) }
+func (s *Sharded[T]) NormalizedRank(y T) float64 { return s.reader().NormalizedRank(y) }
 
 // Quantile returns the item at normalized rank phi; see Sketch.Quantile.
-func (s *Sharded[T]) Quantile(phi float64) (T, error) { return s.snapshot().sk.Quantile(phi) }
+func (s *Sharded[T]) Quantile(phi float64) (T, error) { return s.reader().Quantile(phi) }
 
 // Quantiles returns the items at each normalized rank, all answered from
 // one snapshot.
-func (s *Sharded[T]) Quantiles(phis []float64) ([]T, error) { return s.snapshot().sk.Quantiles(phis) }
+func (s *Sharded[T]) Quantiles(phis []float64) ([]T, error) { return s.reader().Quantiles(phis) }
 
 // CDF returns the estimated normalized ranks at each ascending split point;
 // see Sketch.CDF.
-func (s *Sharded[T]) CDF(splits []T) ([]float64, error) { return s.snapshot().sk.CDF(splits) }
+func (s *Sharded[T]) CDF(splits []T) ([]float64, error) { return s.reader().CDF(splits) }
 
 // PMF returns the estimated probability mass of each interval delimited by
 // the ascending split points; see Sketch.PMF.
-func (s *Sharded[T]) PMF(splits []T) ([]float64, error) { return s.snapshot().sk.PMF(splits) }
+func (s *Sharded[T]) PMF(splits []T) ([]float64, error) { return s.reader().PMF(splits) }
 
 // RankBatch answers every probe in ys from one snapshot with a single
 // galloping sweep over its frozen view, writing into dst (grown as needed)
 // in probe order; see Sketch.RankBatch. This is the cheapest way to scrape
 // many thresholds from a sharded sketch: one snapshot check, one sweep.
 func (s *Sharded[T]) RankBatch(dst []uint64, ys []T) []uint64 {
-	return s.snapshot().sk.RankBatch(dst, ys)
+	return s.reader().RankBatch(dst, ys)
 }
 
 // NormalizedRankBatch is RankBatch normalized by the snapshot's count.
 func (s *Sharded[T]) NormalizedRankBatch(dst []float64, ys []T) []float64 {
-	return s.snapshot().sk.NormalizedRankBatch(dst, ys)
+	return s.reader().NormalizedRankBatch(dst, ys)
 }
 
 // QuantilesInto answers every normalized rank in phis from one snapshot,
 // writing into dst (grown as needed); see Sketch.QuantilesInto.
 func (s *Sharded[T]) QuantilesInto(dst []T, phis []float64) ([]T, error) {
-	return s.snapshot().sk.QuantilesInto(dst, phis)
+	return s.reader().QuantilesInto(dst, phis)
 }
 
 // CDFInto is CDF writing into dst (grown as needed), answered from one
 // snapshot; see Sketch.CDFInto.
 func (s *Sharded[T]) CDFInto(dst []float64, splits []T) ([]float64, error) {
-	return s.snapshot().sk.CDFInto(dst, splits)
+	return s.reader().CDFInto(dst, splits)
 }
 
 // PMFInto is PMF writing into dst (grown as needed), answered from one
 // snapshot; see Sketch.PMFInto.
 func (s *Sharded[T]) PMFInto(dst []float64, splits []T) ([]float64, error) {
-	return s.snapshot().sk.PMFInto(dst, splits)
+	return s.reader().PMFInto(dst, splits)
 }
 
 // ItemsRetained returns the item footprint of the merged snapshot (the
 // size a query works against). The live per-shard footprint is at most a
 // shard count factor larger before merging compacts it.
-func (s *Sharded[T]) ItemsRetained() int { return s.snapshot().sk.ItemsRetained() }
+func (s *Sharded[T]) ItemsRetained() int { return s.reader().ItemsRetained() }
 
-// Snapshot returns an independent plain sketch summarising everything
-// ingested so far, for lock-free querying, serialization, or shipping to
-// an aggregator.
-func (s *Sharded[T]) Snapshot() *Sketch[T] {
-	return &Sketch[T]{core: s.snapshot().sk.Clone()}
-}
+// All iterates the weighted coreset of the current epoch snapshot: every
+// retained item in ascending order with its weight. The snapshot backing
+// the iteration is immutable, so the loop runs lock-free and unperturbed by
+// concurrent writers (which publish later epochs, never touch this one).
+func (s *Sharded[T]) All() iter.Seq2[T, uint64] { return s.reader().All() }
+
+// Snapshot returns the current epoch's immutable, concurrency-safe
+// Snapshot summarising everything ingested so far — for lock-free querying,
+// coreset serialization, or handing to other goroutines. Between writes
+// this is free: every caller receives the same published epoch snapshot,
+// no clone is taken.
+//
+// Before PR 4 this returned a mutable *Sketch[T] deep clone. Callers that
+// need mutable state (to keep ingesting or to merge elsewhere) should ship
+// the coreset with Snapshot().MarshalBinary (query-only) or use the
+// concrete types' MarshalBinary (full sketch state).
+func (s *Sharded[T]) Snapshot() *Snapshot[T] { return s.reader() }
 
 // ShardedFloat64 is a Sharded sketch specialised to float64 values: the
 // drop-in high-throughput replacement for ConcurrentFloat64. It adds NaN
@@ -428,15 +450,11 @@ func (s *ShardedFloat64) Merge(other *Float64) error {
 	return s.Sharded.Merge(&other.Sketch)
 }
 
-// Snapshot returns an independent plain copy of the merged current state.
-func (s *ShardedFloat64) Snapshot() *Float64 {
-	return &Float64{Sketch: *s.Sharded.Snapshot()}
-}
-
 // MarshalBinary serializes the merged current state in the same format as
 // Float64.MarshalBinary; decode with DecodeFloat64. It encodes the
-// published snapshot directly (core.Sketch.Snapshot is a pure read of the
-// immutable merged sketch), avoiding Snapshot's deep copy.
+// published epoch's merged sketch directly (core.Sketch.Snapshot is a pure
+// read of that immutable state), so no deep copy is taken. For a
+// query-only encoding, use Snapshot().MarshalBinary.
 func (s *ShardedFloat64) MarshalBinary() ([]byte, error) {
 	return marshalSnapshot(s.Sharded.snapshot().sk.Snapshot(), float64Codec)
 }
@@ -465,14 +483,10 @@ func (s *ShardedUint64) Merge(other *Uint64) error {
 	return s.Sharded.Merge(&other.Sketch)
 }
 
-// Snapshot returns an independent plain copy of the merged current state.
-func (s *ShardedUint64) Snapshot() *Uint64 {
-	return &Uint64{Sketch: *s.Sharded.Snapshot()}
-}
-
 // MarshalBinary serializes the merged current state in the same format as
 // Uint64.MarshalBinary; decode with DecodeUint64. Like the float64
-// variant, it encodes the published snapshot without an extra deep copy.
+// variant, it encodes the published epoch's merged state without a deep
+// copy; Snapshot().MarshalBinary gives the query-only encoding.
 func (s *ShardedUint64) MarshalBinary() ([]byte, error) {
 	return marshalSnapshot(s.Sharded.snapshot().sk.Snapshot(), uint64Codec)
 }

@@ -166,14 +166,23 @@ func TestShardedSnapshotIndependent(t *testing.T) {
 	if snap.Count() != 5000 {
 		t.Fatalf("snapshot count = %d", snap.Count())
 	}
+	// Between writes, Snapshot hands out the published epoch snapshot: no
+	// per-call clone.
+	if again := s.Snapshot(); again != snap {
+		t.Fatal("Snapshot cloned the published epoch snapshot")
+	}
 	s.Update(99999)
 	if snap.Count() != 5000 {
 		t.Fatal("snapshot aliases live sketch")
 	}
-	// The snapshot is a plain sketch: it can keep ingesting on its own.
-	snap.Update(1)
-	if snap.Count() != 5001 || s.Count() != 5001 {
-		t.Fatalf("counts after divergence: snap=%d live=%d", snap.Count(), s.Count())
+	if mx, _ := snap.Max(); mx == 99999 {
+		t.Fatal("snapshot observed a post-capture write")
+	}
+	// The write started a new epoch: the next snapshot sees it, the old one
+	// stays frozen.
+	snap2 := s.Snapshot()
+	if snap2 == snap || snap2.Count() != 5001 {
+		t.Fatalf("post-write snapshot: same=%v count=%d", snap2 == snap, snap2.Count())
 	}
 }
 

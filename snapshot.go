@@ -1,0 +1,139 @@
+package req
+
+import (
+	"fmt"
+	"iter"
+
+	"req/internal/core"
+)
+
+// Snapshot is an immutable, concurrency-safe point-in-time reader over a
+// sketch's weighted coreset: the sorted items, their weights, the exact
+// min/max, and a prebuilt Eytzinger rank index. It owns its storage, so it
+// stays valid — and answers identically — forever, regardless of what the
+// source sketch does next. Any number of goroutines may query one Snapshot
+// concurrently with no synchronization.
+//
+// Every container's Snapshot() method returns this type:
+//
+//   - Sketch[T] (and Float64/Uint64) deep-copy their frozen coreset;
+//   - ConcurrentFloat64 does the same under its lock;
+//   - Sharded[T] publishes its current epoch snapshot directly (no copy) —
+//     taking snapshots of a sharded sketch between writes is free.
+//
+// A Snapshot answers exactly what the source sketch would have answered at
+// capture time (bit-identical to the live sketch's frozen answers) but
+// carries only the coreset: it cannot ingest, merge, or resume the stream.
+// Use Clone (or serialize the full sketch) when the mutable state must
+// travel too; use Snapshot when readers only need to query.
+//
+// Float64 and uint64 snapshots also serialize: MarshalBinary encodes the
+// coreset in the package's versioned binary format (a query-only record
+// carrying no mutable sketch state) and UnmarshalSnapshotFloat64 /
+// UnmarshalSnapshotUint64 restore a queryable Snapshot — the shape shipped
+// to read replicas.
+type Snapshot[T any] struct {
+	f *core.Frozen[T]
+}
+
+// SnapshotFloat64 is the float64 instantiation of Snapshot, as returned by
+// Float64.Snapshot, ConcurrentFloat64.Snapshot and ShardedFloat64.Snapshot.
+type SnapshotFloat64 = Snapshot[float64]
+
+// SnapshotUint64 is the uint64 instantiation of Snapshot, as returned by
+// Uint64.Snapshot and ShardedUint64.Snapshot.
+type SnapshotUint64 = Snapshot[uint64]
+
+// Count returns the total number of items summarised at capture time.
+func (sn *Snapshot[T]) Count() uint64 { return sn.f.Count() }
+
+// Empty reports whether the snapshot summarises no items.
+func (sn *Snapshot[T]) Empty() bool { return sn.f.Empty() }
+
+// Min returns the smallest item seen (tracked exactly). ok is false when
+// the snapshot is empty.
+func (sn *Snapshot[T]) Min() (item T, ok bool) { return sn.f.Min() }
+
+// Max returns the largest item seen (tracked exactly). ok is false when
+// the snapshot is empty.
+func (sn *Snapshot[T]) Max() (item T, ok bool) { return sn.f.Max() }
+
+// Rank returns the estimated inclusive rank of y, answered from the
+// snapshot's rank index; see Sketch.Rank for the guarantee.
+func (sn *Snapshot[T]) Rank(y T) uint64 { return sn.f.Rank(y) }
+
+// RankExclusive returns the estimated exclusive rank of y.
+func (sn *Snapshot[T]) RankExclusive(y T) uint64 { return sn.f.RankExclusive(y) }
+
+// NormalizedRank returns Rank(y)/Count() in [0, 1] (0 when empty).
+func (sn *Snapshot[T]) NormalizedRank(y T) float64 { return sn.f.NormalizedRank(y) }
+
+// RankBatch answers every probe in ys with one galloping sweep, writing
+// into dst (grown as needed) in probe order; see Sketch.RankBatch. dst must
+// not be shared between concurrent callers.
+func (sn *Snapshot[T]) RankBatch(dst []uint64, ys []T) []uint64 { return sn.f.RankBatch(dst, ys) }
+
+// NormalizedRankBatch is RankBatch normalized by Count().
+func (sn *Snapshot[T]) NormalizedRankBatch(dst []float64, ys []T) []float64 {
+	return sn.f.NormalizedRankBatch(dst, ys)
+}
+
+// Quantile returns the item at normalized rank phi; see Sketch.Quantile.
+func (sn *Snapshot[T]) Quantile(phi float64) (T, error) { return sn.f.Quantile(phi) }
+
+// Quantiles returns the items at each normalized rank.
+func (sn *Snapshot[T]) Quantiles(phis []float64) ([]T, error) { return sn.f.Quantiles(phis) }
+
+// QuantilesInto answers every normalized rank in phis, writing into dst
+// (grown as needed); dst must not be shared between concurrent callers.
+func (sn *Snapshot[T]) QuantilesInto(dst []T, phis []float64) ([]T, error) {
+	return sn.f.QuantilesInto(dst, phis)
+}
+
+// CDF returns the estimated normalized ranks at each ascending split point.
+func (sn *Snapshot[T]) CDF(splits []T) ([]float64, error) { return sn.f.CDF(splits) }
+
+// CDFInto is CDF writing into dst (grown as needed); dst must not be shared
+// between concurrent callers.
+func (sn *Snapshot[T]) CDFInto(dst []float64, splits []T) ([]float64, error) {
+	return sn.f.CDFInto(dst, splits)
+}
+
+// PMF returns the estimated probability mass of each interval delimited by
+// the ascending split points.
+func (sn *Snapshot[T]) PMF(splits []T) ([]float64, error) { return sn.f.PMF(splits) }
+
+// PMFInto is PMF writing into dst (grown as needed); dst must not be shared
+// between concurrent callers.
+func (sn *Snapshot[T]) PMFInto(dst []float64, splits []T) ([]float64, error) {
+	return sn.f.PMFInto(dst, splits)
+}
+
+// ItemsRetained returns the number of coreset entries the snapshot holds.
+func (sn *Snapshot[T]) ItemsRetained() int { return sn.f.Size() }
+
+// All iterates the snapshot's weighted coreset: every retained item in
+// ascending order with its weight. Weights sum to Count() exactly. The
+// iteration allocates nothing and, the snapshot being immutable, is safe
+// from any number of goroutines at once.
+func (sn *Snapshot[T]) All() iter.Seq2[T, uint64] {
+	return func(yield func(item T, weight uint64) bool) {
+		for i, x := range sn.f.Items() {
+			if !yield(x, sn.f.Weight(i)) {
+				return
+			}
+		}
+	}
+}
+
+// Epsilon returns the relative-error target the source sketch was built
+// with.
+func (sn *Snapshot[T]) Epsilon() float64 { return sn.f.Config().Eps }
+
+// Delta returns the failure probability the source sketch was built with.
+func (sn *Snapshot[T]) Delta() float64 { return sn.f.Config().Delta }
+
+// String returns a short human-readable summary.
+func (sn *Snapshot[T]) String() string {
+	return fmt.Sprintf("req.Snapshot{n=%d, retained=%d}", sn.Count(), sn.ItemsRetained())
+}

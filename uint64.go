@@ -2,9 +2,10 @@ package req
 
 // Uint64 is a sketch specialised to uint64 values — timestamps, byte
 // counts, identifiers with a meaningful order. Like Float64 it supports
-// binary serialization, and inherits both the batch ingest path
-// (UpdateBatch / UpdateAll) and the batch query APIs (RankBatch,
-// NormalizedRankBatch, QuantilesInto, CDFInto, PMFInto) from the embedded
+// binary serialization, and inherits the batch ingest path (UpdateBatch /
+// UpdateAll) and the full Reader query surface — batch APIs (RankBatch,
+// NormalizedRankBatch, QuantilesInto, CDFInto, PMFInto), the All coreset
+// iterator, and Snapshot (returning *SnapshotUint64) — from the embedded
 // Sketch unchanged: uint64 has no NaN to filter on either side. Not safe
 // for concurrent use.
 type Uint64 struct {
