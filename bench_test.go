@@ -492,6 +492,20 @@ func BenchmarkMergeSteadyREQ(b *testing.B) {
 	}
 }
 
+// BenchmarkCloneREQ deep-copies a grown sketch — the per-call cost a
+// snapshot-per-request or fork-the-state workload pays. Sensitive to how
+// level storage is laid out: fragmented per-level buffers cost O(levels)
+// allocations and copies, a contiguous slab one of each.
+func BenchmarkCloneREQ(b *testing.B) {
+	s, _ := NewFloat64(WithEpsilon(0.01), WithSeed(1))
+	s.UpdateAll(benchValues(1<<20, 2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Clone()
+	}
+}
+
 func BenchmarkSerializeREQ(b *testing.B) {
 	s, _ := NewFloat64(WithEpsilon(0.01), WithSeed(1))
 	s.UpdateAll(benchValues(1<<20, 2))

@@ -161,6 +161,32 @@
 // destination, so a monitoring loop that reuses its slices queries with
 // zero allocations end to end.
 //
+// # Memory layout: the contiguous level store
+//
+// Every level buffer lives in one grow-only slab owned by the sketch, as a
+// window with per-level slack (gap-buffer style):
+//
+//	slab:   [ level 0 | slack ][ level 1 | slack ] … [ level H | slack ]
+//	window: {off₀, cap₀}        {off₁, cap₁}          {off_H, cap_H}
+//
+// Appends and compaction emissions write in place inside their window;
+// when a window fills, its capacity grows ×1.5 and the levels above shift
+// right by one overlapping copy each, while the slab itself doubles on
+// reallocation — a single amortized copy of everything. Slack is kept
+// zeroed so pointer-bearing item types never linger after truncation.
+// The payoff is that the whole hierarchy is one object: Clone and CopyFrom
+// are a single slab allocation plus one memcpy per level, and
+// serialization reads/writes the level section as one pass over contiguous
+// memory.
+//
+// Frozen snapshots follow the same philosophy with an explicit ownership
+// rule: Snapshot() copies the frozen view and its rank index into two
+// slabs the snapshot owns (two allocations, five memcpys), because the
+// source sketch keeps writing; the sharded wrapper's published epoch
+// snapshots instead alias their epoch sketch's storage outright, because
+// that sketch is immutable from publication on. Own when the source keeps
+// writing; alias only when the source is provably frozen.
+//
 // # Concurrency
 //
 // Plain sketches are not safe for concurrent use. Two thread-safe wrappers

@@ -20,10 +20,33 @@ func mkSketch(t *testing.T, k int, detCoin bool) *Sketch[float64] {
 	return s
 }
 
+// loadLevel0 hand-loads level 0 through the level store (tests used to
+// assign a heap slice to levels[0].buf directly, which the slab engine no
+// longer permits). Like the old wholesale replacement it leaves the sorted
+// prefix at 0; n is not touched, so weight-conservation checks do not apply
+// to hand-loaded sketches.
+func loadLevel0(s *Sketch[float64], vals ...float64) {
+	s.store.ensure(s.levels, 0, len(vals))
+	lv := &s.levels[0]
+	s.retained += len(vals) - len(lv.buf)
+	clear(lv.buf)
+	lv.buf = append(lv.buf[:0], vals...)
+	lv.sorted = 0
+}
+
+// ramp returns [lo, lo+1, …, hi-1] as float64s.
+func ramp(lo, hi int) []float64 {
+	out := make([]float64, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, float64(i))
+	}
+	return out
+}
+
 func TestEmitHalfEvenRegion(t *testing.T) {
 	s := mkSketch(t, 4, true)
 	// Hand-load level 0 with 8 sorted items and emit everything above 4.
-	s.levels[0].buf = []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	loadLevel0(s, 1, 2, 3, 4, 5, 6, 7, 8)
 	s.emitHalf(0, 4)
 	if got := len(s.levels[0].buf); got != 4 {
 		t.Fatalf("kept %d items, want 4", got)
@@ -43,7 +66,7 @@ func TestEmitHalfEvenRegion(t *testing.T) {
 
 func TestEmitHalfOddRegionShrinks(t *testing.T) {
 	s := mkSketch(t, 4, true)
-	s.levels[0].buf = []float64{1, 2, 3, 4, 5, 6, 7}
+	loadLevel0(s, 1, 2, 3, 4, 5, 6, 7)
 	// keep=2 leaves an odd region of 5; the implementation must keep one
 	// extra item so the compacted region is even.
 	s.emitHalf(0, 2)
@@ -58,7 +81,7 @@ func TestEmitHalfOddRegionShrinks(t *testing.T) {
 
 func TestEmitHalfEmptyRegion(t *testing.T) {
 	s := mkSketch(t, 4, true)
-	s.levels[0].buf = []float64{1, 2}
+	loadLevel0(s, 1, 2)
 	s.emitHalf(0, 2) // nothing above keep
 	if len(s.levels[0].buf) != 2 {
 		t.Fatal("empty region modified the buffer")
@@ -69,9 +92,7 @@ func TestCompactLevelFollowsSchedule(t *testing.T) {
 	s := mkSketch(t, 4, true)
 	b := s.geom.b
 	// Fill level 0 exactly to capacity with ascending values.
-	for i := 0; i < b; i++ {
-		s.levels[0].buf = append(s.levels[0].buf, float64(i))
-	}
+	loadLevel0(s, ramp(0, b)...)
 	state0 := s.levels[0].state
 	s.compactLevel(0)
 	// First compaction: state 0 → 1 section compacted: k items consumed,
@@ -98,9 +119,11 @@ func TestCompactLevelSecondCompactionTakesTwoSections(t *testing.T) {
 	s := mkSketch(t, 4, true)
 	b := s.geom.b
 	fill := func() {
-		for len(s.levels[0].buf) < b {
-			s.levels[0].buf = append(s.levels[0].buf, float64(len(s.levels[0].buf)))
+		vals := append([]float64(nil), s.levels[0].buf...)
+		for len(vals) < b {
+			vals = append(vals, float64(len(vals)))
 		}
+		loadLevel0(s, vals...)
 	}
 	fill()
 	s.compactLevel(0) // state 0: 1 section
@@ -114,9 +137,7 @@ func TestCompactLevelSecondCompactionTakesTwoSections(t *testing.T) {
 func TestSpecialCompactLeavesHalf(t *testing.T) {
 	s := mkSketch(t, 4, true)
 	b := s.geom.b
-	for i := 0; i < b-1; i++ {
-		s.levels[0].buf = append(s.levels[0].buf, float64(i))
-	}
+	loadLevel0(s, ramp(0, b-1)...)
 	if !s.specialCompactLevel(0) {
 		t.Fatal("special compaction reported no-op on a full buffer")
 	}
@@ -131,7 +152,7 @@ func TestSpecialCompactLeavesHalf(t *testing.T) {
 
 func TestSpecialCompactNoOpWhenSmall(t *testing.T) {
 	s := mkSketch(t, 4, true)
-	s.levels[0].buf = []float64{1, 2, 3}
+	loadLevel0(s, 1, 2, 3)
 	if s.specialCompactLevel(0) {
 		t.Fatal("special compaction ran on a small buffer")
 	}
@@ -176,9 +197,7 @@ func TestCoinOffsetsBothOccur(t *testing.T) {
 	for trial := 0; trial < 64 && !(seenEvenStart && seenOddStart); trial++ {
 		s2 := mkSketch(t, 4, false)
 		s2.rnd.Seed(uint64(trial))
-		for i := 0; i < b; i++ {
-			s2.levels[0].buf = append(s2.levels[0].buf, float64(i))
-		}
+		loadLevel0(s2, ramp(0, b)...)
 		s2.compactLevel(0)
 		if len(s2.levels) > 1 && len(s2.levels[1].buf) > 0 {
 			first := s2.levels[1].buf[0]
@@ -201,9 +220,7 @@ func TestNaiveScheduleCompactsHalf(t *testing.T) {
 		t.Fatal(err)
 	}
 	b := s.geom.b
-	for i := 0; i < b; i++ {
-		s.levels[0].buf = append(s.levels[0].buf, float64(i))
-	}
+	loadLevel0(s, ramp(0, b)...)
 	s.compactLevel(0)
 	if got := len(s.levels[0].buf); got != b/2 {
 		t.Fatalf("naive schedule kept %d, want B/2=%d", got, b/2)

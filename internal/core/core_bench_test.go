@@ -275,3 +275,43 @@ func BenchmarkCoreSnapshot(b *testing.B) {
 		_ = s.Snapshot()
 	}
 }
+
+// BenchmarkCoreClone deep-copies a grown sketch. With per-level heap
+// buffers this is O(levels) allocations; with the contiguous level store it
+// is one slab copy plus the window table.
+func BenchmarkCoreClone(b *testing.B) {
+	s, err := New(fless, Config{Eps: 0.01, Delta: 0.01, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	for i := 0; i < 1<<20; i++ {
+		s.Update(r.Float64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Clone()
+	}
+}
+
+// BenchmarkCoreCopyFrom refreshes a long-lived staging sketch from a live
+// one — the sharded wrapper's per-epoch restage. Steady state must not
+// allocate; the metric of interest is the copy cost itself.
+func BenchmarkCoreCopyFrom(b *testing.B) {
+	s, err := New(fless, Config{Eps: 0.01, Delta: 0.01, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	for i := 0; i < 1<<20; i++ {
+		s.Update(r.Float64())
+	}
+	stage := &Sketch[float64]{}
+	stage.CopyFrom(s) // grow the stage's storage once
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stage.CopyFrom(s)
+	}
+}

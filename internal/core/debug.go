@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"unsafe"
 )
 
 // CheckInvariants verifies the structural invariants of the sketch and
@@ -26,7 +27,12 @@ import (
 //     buf[:sorted] is sorted under the internal order at every level;
 //  9. view-cache consistency: a current view is the spare (recycled
 //     storage), carries no pending dirty bits, matches the sketch's count,
-//     and its recorded level-0 length is the buffer's actual length.
+//     and its recorded level-0 length is the buffer's actual length;
+//  10. slab consistency: one window per level, laid out in level order,
+//     contiguous and non-overlapping, capacity accounting matching the slab
+//     length, every level buffer aliasing exactly its window, the O(1)
+//     ItemsRetained counter equal to the per-level sum, and no aliasing
+//     between the slab and the scratch/merge buffers.
 func (s *Sketch[T]) CheckInvariants() error {
 	g := s.geom
 	if g.b != 2*g.k*g.nsec {
@@ -84,6 +90,9 @@ func (s *Sketch[T]) CheckInvariants() error {
 				s.viewL0Len, len(s.levels[0].buf))
 		}
 	}
+	if err := s.checkSlabInvariants(); err != nil {
+		return err
+	}
 	if s.n > 0 {
 		// Observation 13: items at level h have weight 2^h, so a level can
 		// exist only if 2^h ≤ 2n/B... allow generous slack for growth.
@@ -94,6 +103,68 @@ func (s *Sketch[T]) CheckInvariants() error {
 		}
 	}
 	return nil
+}
+
+// checkSlabInvariants verifies invariant 10: the level-store layout.
+func (s *Sketch[T]) checkSlabInvariants() error {
+	st := &s.store
+	if len(st.win) != len(s.levels) {
+		return fmt.Errorf("core: %d windows for %d levels", len(st.win), len(s.levels))
+	}
+	off := 0
+	sum := 0
+	for h := range s.levels {
+		w := st.win[h]
+		if w.off != off {
+			return fmt.Errorf("core: level %d window starts at %d, want %d (windows must be contiguous in level order)", h, w.off, off)
+		}
+		if w.cap < 1 {
+			return fmt.Errorf("core: level %d window capacity %d < 1", h, w.cap)
+		}
+		buf := s.levels[h].buf
+		if len(buf) > w.cap {
+			return fmt.Errorf("core: level %d holds %d items in a window of %d", h, len(buf), w.cap)
+		}
+		if cap(buf) != w.cap {
+			return fmt.Errorf("core: level %d buffer capacity %d != window capacity %d", h, cap(buf), w.cap)
+		}
+		if unsafe.SliceData(buf) != &st.slab[w.off] {
+			return fmt.Errorf("core: level %d buffer does not alias the slab at offset %d", h, w.off)
+		}
+		off += w.cap
+		sum += len(buf)
+	}
+	if off != len(st.slab) {
+		return fmt.Errorf("core: window capacities sum to %d but slab holds %d", off, len(st.slab))
+	}
+	if sum != s.retained {
+		return fmt.Errorf("core: ItemsRetained counter %d != per-level sum %d", s.retained, sum)
+	}
+	if slicesShareMemory(s.scratch, st.slab) {
+		return fmt.Errorf("core: scratch buffer aliases the slab")
+	}
+	if slicesShareMemory(s.mergeBuf, st.slab) {
+		return fmt.Errorf("core: merge staging buffer aliases the slab")
+	}
+	return nil
+}
+
+// slicesShareMemory reports whether the backing arrays of a and b overlap.
+// Comparing addresses across allocations is unspecified in the abstract
+// machine, so this is strictly a diagnostic (its false negatives/positives
+// would require a moving collector); it is exactly what invariant 10 needs
+// to catch a scratch buffer leaked into the slab.
+func slicesShareMemory[A any](a, b []A) bool {
+	if cap(a) == 0 || cap(b) == 0 {
+		return false
+	}
+	var zero A
+	size := unsafe.Sizeof(zero)
+	aLo := uintptr(unsafe.Pointer(unsafe.SliceData(a)))
+	aHi := aLo + uintptr(cap(a))*size
+	bLo := uintptr(unsafe.Pointer(unsafe.SliceData(b)))
+	bHi := bLo + uintptr(cap(b))*size
+	return aLo < bHi && bLo < aHi
 }
 
 // ForceViewRebuild structurally invalidates the cached view so the next

@@ -27,13 +27,38 @@ type Frozen[T any] struct {
 // valid (and concurrency-safe) across any subsequent writes. It freezes the
 // sketch as a side effect (view + index materialized), costing O(retained)
 // time and space.
+//
+// Ownership layout: the five logical arrays (view items/cum, index
+// items/cum/before) are windows of two slabs — one []T, one []uint64 —
+// owned exclusively by the Frozen, so the capture is two allocations and
+// five memcpys no matter how large the coreset. The windows are capped
+// three-index slices: nothing can append one array into its neighbour.
 func (s *Sketch[T]) FreezeOwned() *Frozen[T] {
 	src := s.Freeze()
 	f := &Frozen[T]{cfg: s.cfg, hasMinMax: s.hasMinMax}
-	f.v.items = append([]T(nil), src.items...)
-	f.v.cum = append([]uint64(nil), src.cum...)
 	f.v.less, f.v.n, f.v.min, f.v.max = src.less, src.n, src.min, src.max
-	f.v.idx = src.idx.clone()
+	ni := len(src.items)
+	if !src.idx.built {
+		// Only an empty view skips the index (buildIndex no-ops on it);
+		// there is nothing to copy.
+		return f
+	}
+	xi := len(src.idx.items) // ni+1: slot 0 of the 1-based layout is unused
+	xc := len(src.idx.cum)
+	itemSlab := append(make([]T, 0, ni+xi), src.items...)
+	itemSlab = append(itemSlab, src.idx.items...)
+	wordSlab := append(make([]uint64, 0, ni+xc+len(src.idx.before)), src.cum...)
+	wordSlab = append(wordSlab, src.idx.cum...)
+	wordSlab = append(wordSlab, src.idx.before...)
+	f.v.items = itemSlab[:ni:ni]
+	f.v.cum = wordSlab[:ni:ni]
+	f.v.idx = eytIndex[T]{
+		items:  itemSlab[ni : ni+xi : ni+xi],
+		cum:    wordSlab[ni : ni+xc : ni+xc],
+		before: wordSlab[ni+xc:],
+		total:  src.idx.total,
+		built:  true,
+	}
 	return f
 }
 
@@ -46,17 +71,6 @@ func (s *Sketch[T]) FreezeOwned() *Frozen[T] {
 func (s *Sketch[T]) FreezeShared() *Frozen[T] {
 	src := s.Freeze()
 	return &Frozen[T]{v: *src, cfg: s.cfg, hasMinMax: s.hasMinMax}
-}
-
-// clone deep-copies the index arrays (used by FreezeOwned).
-func (idx *eytIndex[T]) clone() eytIndex[T] {
-	return eytIndex[T]{
-		items:  append([]T(nil), idx.items...),
-		cum:    append([]uint64(nil), idx.cum...),
-		before: append([]uint64(nil), idx.before...),
-		total:  idx.total,
-		built:  idx.built,
-	}
 }
 
 // FrozenFromCoreset reconstructs a Frozen from a serialized coreset: items

@@ -136,11 +136,9 @@ func (s *Sketch[T]) Merge(other *Sketch[T]) error {
 	// step 5 never has to re-sort.
 	for h := range src.levels {
 		if h >= len(m.levels) {
-			m.levels = append(m.levels, compactor[T]{buf: make([]T, 0, m.geom.b)})
+			m.levels = m.store.addLevel(m.levels, m.geom.b)
 		}
 		m.settleLevel(h)
-		dst := &m.levels[h]
-		dst.state = schedule.Combine(dst.state, src.levels[h].state)
 		add := src.levels[h].buf
 		if sp := src.levels[h].sorted; sp < len(add) {
 			// The source is not ours to mutate: settle an unsorted tail on
@@ -154,8 +152,16 @@ func (s *Sketch[T]) Merge(other *Sketch[T]) error {
 			m.mergeBuf = mergeSortedInto(m.mergeBuf, m.scratch, m.internalLess)
 			add = m.mergeBuf
 		}
+		// Widen the target window for the concatenation before merging; the
+		// merge then appends strictly within m's slab (add lives in src's
+		// slab or m's scratch, never m's slab, so the operands cannot
+		// overlap).
+		m.store.ensure(m.levels, h, len(m.levels[h].buf)+len(add))
+		dst := &m.levels[h]
+		dst.state = schedule.Combine(dst.state, src.levels[h].state)
 		dst.buf = mergeSortedInto(dst.buf, add, m.internalLess)
 		dst.sorted = len(dst.buf)
+		m.retained += len(add)
 		if len(dst.buf) > m.stats.MaxBufferLen {
 			m.stats.MaxBufferLen = len(dst.buf)
 		}

@@ -400,7 +400,9 @@ type viewCursor[T any] struct {
 const maxSketchLevels = 64
 
 // kwayMergeInto merges the (settled) level buffers into v.items ascending in
-// the caller's order, accumulating cumulative weights as it writes.
+// the caller's order, accumulating cumulative weights as it writes. The
+// cursors walk windows of the sketch's contiguous slab (levels[h].buf are
+// slab aliases), so the whole merge streams one allocation front to back.
 func (s *Sketch[T]) kwayMergeInto(v *View[T]) {
 	var cursArr [maxSketchLevels]viewCursor[T]
 	curs := cursArr[:0]

@@ -13,7 +13,10 @@ package core
 // (both ascending under less) and returns the extended slice. After dst is
 // extended by len(add) the merge is performed backward in place, so no
 // scratch beyond dst's spare capacity is needed; add is only read and must
-// not alias dst's backing array.
+// not alias dst's backing array. When dst is a level buffer, it is a capped
+// slab window whose capacity the caller has ensured (store.ensure), so the
+// append can never reallocate out of the slab — the merge runs entirely
+// inside the window's slack.
 func mergeSortedInto[T any](dst []T, add []T, less func(a, b T) bool) []T {
 	m, e := len(dst), len(add)
 	if e == 0 {

@@ -116,7 +116,7 @@ func TestSortedPrefixLen(t *testing.T) {
 
 func TestSettleLevelMergesTail(t *testing.T) {
 	s := mkSketch(t, 4, true)
-	s.levels[0].buf = []float64{1, 3, 5, 7, 6, 2, 4}
+	loadLevel0(s, 1, 3, 5, 7, 6, 2, 4)
 	s.levels[0].sorted = 4
 	s.settleLevel(0)
 	lv := &s.levels[0]

@@ -13,6 +13,10 @@ import (
 // never compacted, and the top half is divided into nsec sections of k items
 // compacted per the exponential schedule.
 type compactor[T any] struct {
+	// buf aliases this level's window of the sketch's contiguous slab (see
+	// levelStore): &buf[0] == &slab[win.off] and cap(buf) == win.cap. Appends
+	// that could exceed the window capacity must go through store.ensure
+	// first; a plain append can then never reallocate out of the slab.
 	buf []T
 	// sorted is the length of the sorted prefix of buf under the sketch's
 	// internal order: buf[:sorted] is sorted, buf[sorted:] is the unsorted
@@ -40,9 +44,14 @@ type Sketch[T any] struct {
 	rnd  *rng.Source
 
 	levels []compactor[T] // levels[h] holds items of weight 2^h
-	n      uint64         // total stream length summarised
-	bound  uint64         // current stream-length bound N
-	geom   geometry       // current (k, nsec, b), derived from bound
+	// store is the contiguous storage engine backing every level buffer:
+	// levels[h].buf aliases a window of store.slab. All level growth routes
+	// through it, so Clone/CopyFrom move the whole hierarchy as one memcpy.
+	store    levelStore[T]
+	n        uint64   // total stream length summarised
+	bound    uint64   // current stream-length bound N
+	geom     geometry // current (k, nsec, b), derived from bound
+	retained int      // Σ len(levels[h].buf), maintained incrementally
 
 	min, max  T
 	hasMinMax bool
@@ -103,8 +112,8 @@ func New[T any](less func(a, b T) bool, cfg Config) (*Sketch[T], error) {
 	}
 	s.bound = cfg.initialBound()
 	s.geom = cfg.geometryFor(s.bound)
-	s.levels = make([]compactor[T], 1, 8)
-	s.levels[0].buf = make([]T, 0, s.geom.b)
+	s.levels = make([]compactor[T], 0, 8)
+	s.levels = s.store.addLevel(s.levels, s.geom.b)
 	return s, nil
 }
 
@@ -157,12 +166,20 @@ func (s *Sketch[T]) Update(x T) {
 		s.growTo(s.n + 1)
 	}
 	lv := &s.levels[0]
+	if len(lv.buf) == cap(lv.buf) {
+		// The window is full (possible right after a geometry growth raised
+		// b past the reserved capacity); widen it before appending so the
+		// append can never reallocate out of the slab.
+		s.store.ensure(s.levels, 0, len(lv.buf)+1)
+		lv = &s.levels[0]
+	}
 	if lv.sorted == len(lv.buf) && (lv.sorted == 0 || !s.internalLess(x, lv.buf[lv.sorted-1])) {
 		// x extends the sorted prefix: ascending ingest never builds a tail,
 		// making the pre-compaction settle free.
 		lv.sorted++
 	}
 	lv.buf = append(lv.buf, x)
+	s.retained++
 	s.n++
 	if len(lv.buf) > s.stats.MaxBufferLen {
 		s.stats.MaxBufferLen = len(lv.buf)
@@ -212,8 +229,13 @@ func (s *Sketch[T]) UpdateBatch(xs []T) {
 			s.growTo(s.n + uint64(take))
 			continue // growth changed the geometry; recompute the chunk
 		}
+		if len(lv.buf)+take > cap(lv.buf) {
+			s.store.ensure(s.levels, 0, len(lv.buf)+take)
+			lv = &s.levels[0]
+		}
 		wasSorted := lv.sorted == len(lv.buf)
 		lv.buf = append(lv.buf, xs[i:i+take]...)
+		s.retained += take
 		if wasSorted {
 			// Extend the sorted prefix while the chunk continues it, so
 			// ascending batches stay settle-free.
@@ -265,13 +287,9 @@ func (s *Sketch[T]) BufferCapacity() int { return s.geom.b }
 func (s *Sketch[T]) NumLevels() int { return len(s.levels) }
 
 // ItemsRetained returns the total number of items stored across all levels.
-func (s *Sketch[T]) ItemsRetained() int {
-	total := 0
-	for i := range s.levels {
-		total += len(s.levels[i].buf)
-	}
-	return total
-}
+// It is an O(1) counter maintained on every append, compaction, merge, and
+// reset (CheckInvariants cross-checks it against the per-level sum).
+func (s *Sketch[T]) ItemsRetained() int { return s.retained }
 
 // compactCascade compacts level h and propagates: each compaction emits
 // items one level up, which may in turn exceed capacity. Levels are created
@@ -365,30 +383,33 @@ func (s *Sketch[T]) emitHalf(h, keep int) {
 		}
 	}
 	if h+1 >= len(s.levels) {
-		s.levels = append(s.levels, compactor[T]{buf: make([]T, 0, s.geom.b)})
+		s.levels = s.store.addLevel(s.levels, s.geom.b)
 	}
 	// The next level can carry an unsorted tail (direct weighted inserts);
 	// settle it before merging the emission. This must precede the scratch
 	// use below — settleLevel claims s.scratch too.
 	s.settleLevel(h + 1)
-	c = &s.levels[h] // re-take: append may have moved the levels array
+	c = &s.levels[h] // re-take: addLevel may have moved the levels array
 	region := c.buf[keep:]
 	s.scratch = s.scratch[:0]
 	for i := offset; i < len(region); i += 2 {
 		s.scratch = append(s.scratch, region[i])
 	}
-	// Zero the abandoned tail so the GC can reclaim pointer-bearing items.
-	var zero T
-	for i := keep; i < len(c.buf); i++ {
-		c.buf[i] = zero
-	}
+	// Scrub the abandoned tail so the slab never keeps pointer-bearing
+	// items reachable, and shrink the window's occupied prefix in place.
+	clear(c.buf[keep:])
+	s.retained -= len(c.buf) - keep
 	c.buf = c.buf[:keep]
 	if c.sorted > keep {
 		c.sorted = keep
 	}
+	// Widen the next level's window for the emission before merging; the
+	// merge then appends strictly within the slab.
+	s.store.ensure(s.levels, h+1, len(s.levels[h+1].buf)+len(s.scratch))
 	next := &s.levels[h+1]
 	next.buf = mergeSortedInto(next.buf, s.scratch, s.internalLess)
 	next.sorted = len(next.buf)
+	s.retained += len(s.scratch)
 	if len(next.buf) > s.stats.MaxBufferLen {
 		s.stats.MaxBufferLen = len(next.buf)
 	}
@@ -424,13 +445,13 @@ func (s *Sketch[T]) Reset() {
 	// stream, which pointer-bearing item types should not keep reachable.
 	s.spare = nil
 	s.n = 0
+	s.retained = 0
 	s.bound = s.cfg.initialBound()
 	s.geom = s.cfg.geometryFor(s.bound)
+	s.store.reset()
 	s.levels = s.levels[:1]
-	s.levels[0].buf = s.levels[0].buf[:0]
-	s.levels[0].sorted = 0
-	s.levels[0].state = 0
-	s.levels[0].numCompactions = 0
+	s.levels[0] = compactor[T]{}
+	s.store.realias(s.levels)
 	var zero T
 	s.min, s.max = zero, zero
 	s.hasMinMax = false
@@ -442,15 +463,18 @@ func (s *Sketch[T]) Reset() {
 // clone and the original behave bit-for-bit identically on identical
 // subsequent input. The cached sorted view is not carried over; the clone
 // rebuilds it on first query. Clone is a read-only operation on s.
+//
+// The whole level hierarchy transfers as one compact slab allocation with
+// one memcpy per level — O(1) allocations regardless of the level count.
 func (s *Sketch[T]) Clone() *Sketch[T] {
 	c := *s
 	c.rnd = rng.New(0)
 	c.rnd.Restore(s.rnd.State())
+	c.store = levelStore[T]{}
+	c.store.cloneFrom(&s.store, s.levels)
 	c.levels = make([]compactor[T], len(s.levels))
-	for i := range s.levels {
-		c.levels[i] = s.levels[i]
-		c.levels[i].buf = append(make([]T, 0, max(len(s.levels[i].buf), 1)), s.levels[i].buf...)
-	}
+	copy(c.levels, s.levels)
+	c.store.realias(c.levels)
 	c.view = nil
 	// Never share transient state with the original: the clone grows its
 	// own view storage and merge scratch on first use.
@@ -464,9 +488,9 @@ func (s *Sketch[T]) Clone() *Sketch[T] {
 
 // CopyFrom makes s a deep copy of src (same contract as src.Clone(), but in
 // place): s summarises the same stream, continues the same random stream, and
-// shares no mutable state with src. Unlike Clone it reuses s's level buffers,
-// slices, and cached-view storage, so refreshing a long-lived staging sketch
-// from a live one allocates nothing once capacities have grown to match.
+// shares no mutable state with src. Unlike Clone it reuses s's storage slab
+// and cached-view arrays, so refreshing a long-lived staging sketch from a
+// live one allocates nothing once capacities have grown to match.
 // The sharded wrapper's snapshot rebuild uses it to re-stage shard state
 // every epoch without per-epoch garbage. s.CopyFrom(s) is a no-op.
 func (s *Sketch[T]) CopyFrom(src *Sketch[T]) {
@@ -482,23 +506,16 @@ func (s *Sketch[T]) CopyFrom(src *Sketch[T]) {
 	s.n, s.bound, s.geom = src.n, src.bound, src.geom
 	s.min, s.max, s.hasMinMax = src.min, src.max, src.hasMinMax
 	s.stats = src.stats
+	s.retained = src.retained
+	// Per-level memcpys within one reused slab; the grown slab capacity is
+	// what keeps repeated refreshes allocation-free.
+	s.store.copyFrom(&src.store, s.levels, src.levels)
 	if cap(s.levels) < len(src.levels) {
-		// Preserve already-grown buffers across the reallocation so they keep
-		// amortizing future copies.
-		grown := make([]compactor[T], len(src.levels))
-		for i := range s.levels {
-			grown[i].buf = s.levels[i].buf
-		}
-		s.levels = grown
+		s.levels = make([]compactor[T], len(src.levels))
 	} else {
 		s.levels = s.levels[:len(src.levels)]
 	}
-	for h := range src.levels {
-		dst := &s.levels[h]
-		dst.buf = append(dst.buf[:0], src.levels[h].buf...)
-		dst.sorted = src.levels[h].sorted
-		dst.state = src.levels[h].state
-		dst.numCompactions = src.levels[h].numCompactions
-	}
+	copy(s.levels, src.levels)
+	s.store.realias(s.levels)
 	s.markStructural()
 }

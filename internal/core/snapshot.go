@@ -8,7 +8,10 @@ import (
 	"req/internal/schedule"
 )
 
-// LevelSnapshot is the portable state of one relative-compactor.
+// LevelSnapshot is the portable state of one relative-compactor. Items is
+// owned by the snapshot holder (never aliased with live sketch storage);
+// captures and decoders lay the per-level slices out as windows of one
+// contiguous allocation.
 type LevelSnapshot[T any] struct {
 	State uint64
 	Items []T
@@ -31,7 +34,10 @@ type Snapshot[T any] struct {
 	Stats     Stats
 }
 
-// Snapshot captures the sketch state. Item slices are copies.
+// Snapshot captures the sketch state. Item slices are copies (the caller
+// may retain or mutate them freely); they are windows of one contiguous
+// allocation, copied level by level from the sketch's slab — one allocation
+// and O(levels) memcpys regardless of the level count.
 func (s *Sketch[T]) Snapshot() Snapshot[T] {
 	snap := Snapshot[T]{
 		Config:    s.cfg,
@@ -44,11 +50,15 @@ func (s *Sketch[T]) Snapshot() Snapshot[T] {
 		Levels:    make([]LevelSnapshot[T], len(s.levels)),
 		Stats:     s.stats,
 	}
+	slab := make([]T, s.retained)
+	off := 0
 	for h := range s.levels {
+		n := copy(slab[off:], s.levels[h].buf)
 		snap.Levels[h] = LevelSnapshot[T]{
 			State: uint64(s.levels[h].state),
-			Items: append([]T(nil), s.levels[h].buf...),
+			Items: slab[off : off+n : off+n],
 		}
+		off += n
 	}
 	return snap
 }
@@ -90,22 +100,28 @@ func FromSnapshot[T any](less func(a, b T) bool, snap Snapshot[T]) (*Sketch[T], 
 		stats:     snap.Stats,
 	}
 	s.rnd.Restore(snap.RNG)
-	s.levels = make([]compactor[T], len(snap.Levels))
+	// Validate level sizes before laying out storage, then build the whole
+	// slab in one allocation with a geometry-capacity window per level.
 	var weight uint64
 	for h, lv := range snap.Levels {
 		if len(lv.Items) >= s.geom.b {
 			return nil, fmt.Errorf("core: snapshot level %d holds %d items ≥ capacity %d", h, len(lv.Items), s.geom.b)
 		}
-		s.levels[h] = compactor[T]{
-			buf:   append(make([]T, 0, s.geom.b), lv.Items...),
-			state: schedule.State(lv.State),
-		}
+		weight += uint64(len(lv.Items)) << uint(h)
+	}
+	s.store.initWindows(len(snap.Levels), s.geom.b)
+	s.levels = make([]compactor[T], len(snap.Levels))
+	s.store.realias(s.levels)
+	for h, lv := range snap.Levels {
+		c := &s.levels[h]
+		c.buf = append(c.buf, lv.Items...)
+		c.state = schedule.State(lv.State)
 		// Re-establish the sorted-compactor invariant: snapshots carry raw
 		// buffers, so recover the sorted prefix (the whole buffer for any
 		// state written by this implementation; a shorter prefix plus tail
 		// for foreign or pre-invariant snapshots is equally valid).
-		s.levels[h].sorted = sortedPrefixLen(s.levels[h].buf, s.internalLess)
-		weight += uint64(len(lv.Items)) << uint(h)
+		c.sorted = sortedPrefixLen(c.buf, s.internalLess)
+		s.retained += len(lv.Items)
 	}
 	if weight != snap.N {
 		return nil, fmt.Errorf("core: snapshot weight %d != n %d", weight, snap.N)

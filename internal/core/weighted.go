@@ -85,13 +85,18 @@ func (s *Sketch[T]) UpdateWeighted(x T, weight uint64) error {
 func (s *Sketch[T]) insertAtLevel(h int, x T) {
 	s.markAppended(h)
 	for h >= len(s.levels) {
-		s.levels = append(s.levels, compactor[T]{buf: make([]T, 0, s.geom.b)})
+		s.levels = s.store.addLevel(s.levels, s.geom.b)
 	}
 	lv := &s.levels[h]
+	if len(lv.buf) == cap(lv.buf) {
+		s.store.ensure(s.levels, h, len(lv.buf)+1)
+		lv = &s.levels[h]
+	}
 	if lv.sorted == len(lv.buf) && (lv.sorted == 0 || !s.internalLess(x, lv.buf[lv.sorted-1])) {
 		lv.sorted++
 	}
 	lv.buf = append(lv.buf, x)
+	s.retained++
 	if len(lv.buf) > s.stats.MaxBufferLen {
 		s.stats.MaxBufferLen = len(lv.buf)
 	}

@@ -84,22 +84,52 @@ const (
 // bytes; no valid sketch in this format approaches it.
 const maxDecodedLevelItems = 1 << 28
 
-// itemCodec serializes one item type. Implementations must be fixed-width.
+// itemCodec serializes one item type. Implementations must be fixed-width
+// (width bytes per item): the decoder sizes and skips level payloads
+// arithmetically, which is what lets it lay all levels out in one
+// contiguous slab before decoding a single item.
 type itemCodec[T any] struct {
-	tag      byte
-	put      func(out []byte, v T) []byte
-	get      func(r *reader) (T, bool)
+	tag   byte
+	width int
+	put   func(out []byte, v T) []byte
+	get   func(r *reader) (T, bool)
+	// putAll appends every item of vs — one sweep over contiguous memory
+	// with the output grown once, no per-item append bookkeeping.
+	putAll func(out []byte, vs []T) []byte
+	// getAll decodes len(dst) items in one sweep; false on truncation.
+	getAll   func(r *reader, dst []T) bool
 	validate func(v T) error
 }
 
 var float64Codec = itemCodec[float64]{
-	tag: itemFloat64,
+	tag:   itemFloat64,
+	width: 8,
 	put: func(out []byte, v float64) []byte {
 		return binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
 	},
 	get: func(r *reader) (float64, bool) {
 		v, ok := r.u64()
 		return math.Float64frombits(v), ok
+	},
+	putAll: func(out []byte, vs []float64) []byte {
+		off := len(out)
+		out = appendZeros(out, 8*len(vs))
+		for _, v := range vs {
+			binary.LittleEndian.PutUint64(out[off:], math.Float64bits(v))
+			off += 8
+		}
+		return out
+	},
+	getAll: func(r *reader, dst []float64) bool {
+		if r.remaining() < 8*len(dst) {
+			return false
+		}
+		b := r.buf[r.off:]
+		for i := range dst {
+			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+		}
+		r.off += 8 * len(dst)
+		return true
 	},
 	validate: func(v float64) error {
 		if math.IsNaN(v) {
@@ -110,14 +140,44 @@ var float64Codec = itemCodec[float64]{
 }
 
 var uint64Codec = itemCodec[uint64]{
-	tag: itemUint64,
+	tag:   itemUint64,
+	width: 8,
 	put: func(out []byte, v uint64) []byte {
 		return binary.LittleEndian.AppendUint64(out, v)
 	},
 	get: func(r *reader) (uint64, bool) {
 		return r.u64()
 	},
+	putAll: func(out []byte, vs []uint64) []byte {
+		off := len(out)
+		out = appendZeros(out, 8*len(vs))
+		for _, v := range vs {
+			binary.LittleEndian.PutUint64(out[off:], v)
+			off += 8
+		}
+		return out
+	},
+	getAll: func(r *reader, dst []uint64) bool {
+		if r.remaining() < 8*len(dst) {
+			return false
+		}
+		b := r.buf[r.off:]
+		for i := range dst {
+			dst[i] = binary.LittleEndian.Uint64(b[8*i:])
+		}
+		r.off += 8 * len(dst)
+		return true
+	},
 	validate: func(uint64) error { return nil },
+}
+
+// appendZeros extends out by n zero bytes. Callers presize their buffers,
+// so the in-place reslice is the expected path.
+func appendZeros(out []byte, n int) []byte {
+	if cap(out)-len(out) >= n {
+		return out[:len(out)+n]
+	}
+	return append(out, make([]byte, n)...)
 }
 
 // marshalSnapshot encodes a snapshot under the given codec.
@@ -166,12 +226,14 @@ func marshalSnapshot[T any](snap core.Snapshot[T], codec itemCodec[T]) ([]byte, 
 		return nil, fmt.Errorf("req: %d levels cannot be encoded", len(snap.Levels))
 	}
 	out = append(out, byte(len(snap.Levels)))
+	// The level payloads are windows of one contiguous capture slab
+	// (core.Sketch.Snapshot lays them out back to back), so this loop is a
+	// single forward sweep over contiguous memory: 12 header bytes per
+	// level, then a bulk item write.
 	for _, lv := range snap.Levels {
 		out = binary.LittleEndian.AppendUint64(out, lv.State)
 		out = binary.LittleEndian.AppendUint32(out, uint32(len(lv.Items)))
-		for _, v := range lv.Items {
-			out = codec.put(out, v)
-		}
+		out = codec.putAll(out, lv.Items)
 	}
 	return out, nil
 }
@@ -280,28 +342,54 @@ func unmarshalSnapshot[T any](data []byte, codec itemCodec[T]) (core.Snapshot[T]
 	if !ok || numLevels == 0 {
 		return snap, fmt.Errorf("%w: missing levels", ErrCorrupt)
 	}
-	snap.Levels = make([]core.LevelSnapshot[T], numLevels)
-	for h := range snap.Levels {
+	// Pass 1 — structure: walk the level headers, skipping the fixed-width
+	// item payloads arithmetically. This sizes the whole level section
+	// (rejecting truncation and trailing garbage) before a single item byte
+	// is touched, so pass 2 can decode every level into ONE contiguous slab.
+	type levelHeader struct {
+		state uint64
+		count int
+	}
+	headers := make([]levelHeader, numLevels)
+	itemsStart := make([]int, numLevels)
+	total := 0
+	for h := range headers {
 		state, ok1 := r.u64()
 		count, ok2 := r.u32()
 		if !ok1 || !ok2 || int(count) > maxDecodedLevelItems {
 			return snap, fmt.Errorf("%w: level %d header", ErrCorrupt, h)
 		}
-		// int64 math: int(count)*8 can overflow a 32-bit int at the cap.
-		if int64(r.remaining()) < int64(count)*8 {
+		// int64 math: int(count)*width can overflow a 32-bit int at the cap.
+		if int64(r.remaining()) < int64(count)*int64(codec.width) {
 			return snap, fmt.Errorf("%w: level %d items truncated", ErrCorrupt, h)
 		}
-		items := make([]T, count)
-		for i := range items {
-			items[i], _ = codec.get(&r)
-			if err := codec.validate(items[i]); err != nil {
-				return snap, fmt.Errorf("%w: %v", ErrCorrupt, err)
-			}
-		}
-		snap.Levels[h] = core.LevelSnapshot[T]{State: state, Items: items}
+		headers[h] = levelHeader{state: state, count: int(count)}
+		itemsStart[h] = r.off
+		r.skip(int(count) * codec.width)
+		total += int(count)
 	}
 	if r.remaining() != 0 {
 		return snap, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.remaining())
+	}
+	// Pass 2 — payload: bulk-decode each level's window of the slab. total
+	// is bounded by len(data)/width (pass 1 walked every payload), so the
+	// allocation cannot be baited beyond the input's own size.
+	slab := make([]T, total)
+	snap.Levels = make([]core.LevelSnapshot[T], numLevels)
+	off := 0
+	for h, hd := range headers {
+		window := slab[off : off+hd.count : off+hd.count]
+		r.off = itemsStart[h]
+		if !codec.getAll(&r, window) {
+			return snap, fmt.Errorf("%w: level %d items truncated", ErrCorrupt, h)
+		}
+		for i := range window {
+			if err := codec.validate(window[i]); err != nil {
+				return snap, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+		}
+		snap.Levels[h] = core.LevelSnapshot[T]{State: hd.state, Items: window}
+		off += hd.count
 	}
 	return snap, nil
 }
@@ -434,9 +522,7 @@ func marshalFrozen[T any](f *core.Frozen[T], codec itemCodec[T]) ([]byte, error)
 	out = codec.put(out, mn)
 	out = codec.put(out, mx)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(items)))
-	for _, v := range items {
-		out = codec.put(out, v)
-	}
+	out = codec.putAll(out, items)
 	for i := range items {
 		out = binary.AppendUvarint(out, f.Weight(i))
 	}
@@ -486,8 +572,10 @@ func unmarshalFrozen[T any](data []byte, less func(a, b T) bool, codec itemCodec
 		}
 	}
 	items := make([]T, size)
+	if !codec.getAll(&r, items) {
+		return nil, fmt.Errorf("%w: coreset items truncated", ErrCorrupt)
+	}
 	for i := range items {
-		items[i], _ = codec.get(&r)
 		if err := codec.validate(items[i]); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 		}
@@ -538,6 +626,9 @@ type reader struct {
 }
 
 func (r *reader) remaining() int { return len(r.buf) - r.off }
+
+// skip advances the cursor n bytes; the caller has already checked bounds.
+func (r *reader) skip(n int) { r.off += n }
 
 func (r *reader) bytes(dst []byte) bool {
 	if r.remaining() < len(dst) {
