@@ -19,7 +19,8 @@ import (
 // are rare or a single consistent sketch instance is required.
 type ConcurrentFloat64 struct {
 	mu sync.RWMutex
-	s  *Float64
+	// +req:guardedBy(mu)
+	s *Float64
 }
 
 // NewConcurrentFloat64 returns a thread-safe float64 sketch.
@@ -99,6 +100,8 @@ func (c *ConcurrentFloat64) NormalizedRank(y float64) float64 {
 // since the last sorted query) f runs under the shared read lock; otherwise
 // the sketch is frozen and f run under a single exclusive acquisition, so
 // queries always terminate even under a sustained write stream.
+//
+// +req:callsWithLock(mu)
 func (c *ConcurrentFloat64) frozenRead(f func()) {
 	c.mu.RLock()
 	if c.s.Frozen() {

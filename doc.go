@@ -214,6 +214,32 @@
 // streams. Sharding per goroutine with plain sketches and merging manually
 // remains the fastest option when the application controls the goroutines.
 //
+// # Static guarantees
+//
+// The package's in-memory contracts — the view-recycling rule above, the
+// single-slab level store, the lock discipline of the concurrent
+// wrappers, and the zero-allocation hot query paths — are enforced at
+// compile time by the project linter, cmd/reqlint, a go/analysis
+// multichecker run in CI over the whole repository. Code carries the
+// contracts as annotations:
+//
+//   - //req:noalloc on a function asserts it allocates nothing; the
+//     noalloc analyzer rejects make/new, escaping composite literals,
+//     growing append (waivable per line with //req:allocok), interface
+//     conversions, escaping closures, and calls to unannotated functions.
+//   - // +req:guardedBy(mu) on a struct field makes the locked analyzer
+//     prove every access holds mu (exclusively for writes);
+//     // +req:locksRequired, +req:locksAcquired, +req:locksReleased and
+//     +req:callsWithLock describe lock handoff between functions.
+//   - //req:viewpass marks the rare helper allowed to return a *View.
+//
+// The slabalias analyzer needs no annotations: inside internal/core it
+// proves that level-buffer windows are only appended to under an
+// established capacity bound, that slab-derived slices are not retained
+// across slab growth, and that scratch buffers never alias the slab.
+// Run `go run ./cmd/reqlint ./...` locally; see the README's "Static
+// guarantees" section for details.
+//
 // # API change in PR 4: Snapshot unification
 //
 // Snapshot() used to return three different types — Sharded[T].Snapshot a

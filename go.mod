@@ -1,3 +1,9 @@
 module req
 
 go 1.24
+
+// Pinned so reqlint's analyzer behavior is reproducible: this is the exact
+// x/tools revision vendored from the Go 1.24.0 toolchain's cmd/vendor tree
+// (the copy `go vet` itself is built from), committed under vendor/ so the
+// module builds fully offline.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

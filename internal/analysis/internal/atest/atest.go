@@ -1,0 +1,261 @@
+// Package atest runs analyzer golden tests without the analysistest
+// package (whose go/packages driver is not part of the toolchain's vendored
+// x/tools subset). It drives the real delivery vehicle instead: the
+// reqlint binary is built once per test run and executed through
+// `go vet -vettool -json` over a self-contained module under the
+// analyzer's testdata/src directory, and the JSON diagnostics are compared
+// against analysistest-style `// want "regexp"` comments.
+//
+// Testing through go vet exercises exactly the path CI uses — the
+// unitchecker protocol, fact serialization between packages, and flag
+// selection — rather than an in-process approximation.
+package atest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	toolPath  string
+	buildErr  error
+)
+
+// Tool builds cmd/reqlint once per test binary and returns its path.
+func Tool(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			buildErr = err
+			return
+		}
+		bin := filepath.Join(os.TempDir(), fmt.Sprintf("reqlint-test-%d", os.Getpid()))
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/reqlint")
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("building reqlint: %v\n%s", err, out)
+			return
+		}
+		toolPath = bin
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return toolPath
+}
+
+// ModuleRoot returns the enclosing module's root directory (the repo root
+// when run from any package's test).
+func ModuleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// moduleRoot locates the enclosing module's root directory.
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not inside a module")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// diagnostic is one reported finding, as parsed from go vet -json.
+type diagnostic struct {
+	file    string // base name
+	line    int
+	message string
+}
+
+// Run vets the module at testdata/src with only the named analyzer enabled
+// and checks its diagnostics against the `// want "regexp"` comments in the
+// module's .go files. Wants and findings must match one-to-one per
+// (file, line); each want regexp must match the finding's message.
+func Run(t *testing.T, analyzer string) {
+	t.Helper()
+	tool := Tool(t)
+	dir, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "-json", "-"+analyzer, "./...")
+	cmd.Dir = dir
+	// The testdata module must not inherit the parent module's vendor mode.
+	cmd.Env = append(os.Environ(), "GOFLAGS=")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		// go vet exits nonzero when diagnostics are reported; only a
+		// malformed run (no parseable JSON at all) is a test infrastructure
+		// failure, detected below.
+		_ = err
+	}
+
+	got, perr := parseVetJSON(string(out))
+	if perr != nil {
+		t.Fatalf("parsing go vet -json output: %v\nfull output:\n%s", perr, out)
+	}
+
+	want, werr := collectWants(dir)
+	if werr != nil {
+		t.Fatal(werr)
+	}
+
+	// Index findings by file:line.
+	type key struct {
+		file string
+		line int
+	}
+	gotAt := make(map[key][]string)
+	for _, d := range got {
+		k := key{d.file, d.line}
+		gotAt[k] = append(gotAt[k], d.message)
+	}
+
+	matched := make(map[key]bool)
+	for _, w := range want {
+		k := key{w.file, w.line}
+		msgs := gotAt[k]
+		re, rerr := regexp.Compile(w.pattern)
+		if rerr != nil {
+			t.Errorf("%s:%d: bad want regexp %q: %v", w.file, w.line, w.pattern, rerr)
+			continue
+		}
+		found := false
+		for _, m := range msgs {
+			if re.MatchString(m) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: want diagnostic matching %q, got %v", w.file, w.line, w.pattern, msgs)
+			continue
+		}
+		matched[k] = true
+	}
+	for k, msgs := range gotAt {
+		if !matched[k] {
+			t.Errorf("%s:%d: unexpected diagnostic(s): %v", k.file, k.line, msgs)
+		}
+	}
+}
+
+// parseVetJSON extracts diagnostics from go vet -json output: one
+// pretty-printed JSON object per package, separated by '#'-prefixed comment
+// lines, mapping package path -> analyzer -> []{posn, message}.
+func parseVetJSON(out string) ([]diagnostic, error) {
+	var diags []diagnostic
+	var chunk strings.Builder
+	flush := func() error {
+		s := strings.TrimSpace(chunk.String())
+		chunk.Reset()
+		if s == "" {
+			return nil
+		}
+		var per map[string]map[string][]struct {
+			Posn    string `json:"posn"`
+			Message string `json:"message"`
+		}
+		if err := json.Unmarshal([]byte(s), &per); err != nil {
+			return fmt.Errorf("bad JSON block: %v\n%s", err, s)
+		}
+		for _, byAnalyzer := range per {
+			for _, ds := range byAnalyzer {
+				for _, d := range ds {
+					file, line, ok := splitPosn(d.Posn)
+					if !ok {
+						return fmt.Errorf("bad position %q", d.Posn)
+					}
+					diags = append(diags, diagnostic{file: file, line: line, message: d.Message})
+				}
+			}
+		}
+		return nil
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "#") {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		chunk.WriteString(line)
+		chunk.WriteString("\n")
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return diags, nil
+}
+
+// splitPosn parses "path/file.go:12:34" into (base file, line).
+func splitPosn(posn string) (string, int, bool) {
+	parts := strings.Split(posn, ":")
+	if len(parts) < 2 {
+		return "", 0, false
+	}
+	// Windows drive letters don't occur here; file:line[:col].
+	var line int
+	if _, err := fmt.Sscanf(parts[1], "%d", &line); err != nil {
+		return "", 0, false
+	}
+	return filepath.Base(parts[0]), line, true
+}
+
+// wantSpec is one `// want "regexp"` expectation.
+type wantSpec struct {
+	file    string
+	line    int
+	pattern string
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+// collectWants scans every .go file under dir for want comments.
+func collectWants(dir string) ([]wantSpec, error) {
+	var wants []wantSpec
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+				// The want pattern is written as a Go string literal.
+				pattern, uerr := strconv.Unquote(`"` + m[1] + `"`)
+				if uerr != nil {
+					return fmt.Errorf("%s:%d: bad want literal %q: %v", path, i+1, m[1], uerr)
+				}
+				wants = append(wants, wantSpec{
+					file:    filepath.Base(path),
+					line:    i + 1,
+					pattern: pattern,
+				})
+			}
+		}
+		return nil
+	})
+	return wants, err
+}

@@ -1,0 +1,116 @@
+// Package reqdir parses the req:* annotation vocabulary shared by the
+// reqlint analyzers.
+//
+// Two spellings are accepted, matching the two comment idioms they live in:
+//
+//	//req:noalloc                    — a directive comment (no space after //),
+//	                                   the spelling Go reserves for machine-
+//	                                   readable directives (like //go:noinline)
+//	// +req:guardedBy(mu)            — a marker inside a doc comment, the
+//	                                   gVisor-checklocks spelling for
+//	                                   annotations that read as documentation
+//
+// Both forms parse to the same Directive value; each analyzer documents which
+// spelling it conventionally uses.
+package reqdir
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive is one parsed req annotation: Name is the verb ("noalloc",
+// "guardedBy", …) and Arg the raw text between the parentheses ("" when the
+// directive takes no argument).
+type Directive struct {
+	Name string
+	Arg  string
+}
+
+// Parse extracts every req directive from a comment group. A nil group
+// yields nil.
+func Parse(cg *ast.CommentGroup) []Directive {
+	if cg == nil {
+		return nil
+	}
+	var out []Directive
+	for _, c := range cg.List {
+		text := c.Text
+		// Strip the comment markers without normalizing interior spacing:
+		// directive comments are "//req:..." exactly, marker comments are
+		// "// +req:...".
+		if strings.HasPrefix(text, "/*") {
+			continue // req directives are line comments only
+		}
+		body := strings.TrimPrefix(text, "//")
+		trimmed := strings.TrimSpace(body)
+		var payload string
+		switch {
+		case strings.HasPrefix(body, "req:"):
+			payload = strings.TrimPrefix(body, "req:")
+		case strings.HasPrefix(trimmed, "+req:"):
+			payload = strings.TrimPrefix(trimmed, "+req:")
+		default:
+			continue
+		}
+		payload = strings.TrimSpace(payload)
+		name, arg := payload, ""
+		if i := strings.IndexByte(payload, '('); i >= 0 {
+			if j := strings.LastIndexByte(payload, ')'); j > i {
+				name, arg = payload[:i], strings.TrimSpace(payload[i+1:j])
+			}
+		}
+		// A trailing justification after the directive ("//req:allocok —
+		// pre-ensured") is allowed; the name is the first word.
+		if i := strings.IndexAny(name, " \t—-"); i >= 0 {
+			name = name[:i]
+		}
+		if name == "" {
+			continue
+		}
+		out = append(out, Directive{Name: name, Arg: arg})
+	}
+	return out
+}
+
+// Has reports whether the comment group carries the named directive.
+func Has(cg *ast.CommentGroup, name string) bool {
+	for _, d := range Parse(cg) {
+		if d.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Arg returns the argument of the first directive with the given name, and
+// whether one was found.
+func Arg(cg *ast.CommentGroup, name string) (string, bool) {
+	for _, d := range Parse(cg) {
+		if d.Name == name {
+			return d.Arg, true
+		}
+	}
+	return "", false
+}
+
+// LineSet returns the set of file lines (1-based) on which any comment in
+// the file carries the named directive. Statement-level waivers
+// (//req:allocok) are matched by line, so a waiver must sit on the same line
+// as the construct it excuses.
+func LineSet(fset *token.FileSet, file *ast.File, name string) map[int]bool {
+	var lines map[int]bool
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !Has(&ast.CommentGroup{List: []*ast.Comment{c}}, name) {
+				continue
+			}
+			if lines == nil {
+				lines = make(map[int]bool)
+			}
+			lines[fset.Position(c.Pos()).Line] = true
+		}
+	}
+	return lines
+}

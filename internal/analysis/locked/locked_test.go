@@ -1,0 +1,14 @@
+package locked_test
+
+import (
+	"testing"
+
+	"req/internal/analysis/internal/atest"
+)
+
+// TestLocked drives the real reqlint binary through
+// go vet -json over the golden module in testdata/src and matches the
+// diagnostics against its // want comments.
+func TestLocked(t *testing.T) {
+	atest.Run(t, "locked")
+}

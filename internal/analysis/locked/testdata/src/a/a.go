@@ -1,0 +1,164 @@
+// Package a seeds positive and negative cases for the locked analyzer.
+package a
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// +req:guardedBy(mu)
+	n int
+}
+
+func (c *counter) Inc() {
+	c.mu.Lock()
+	c.n++ // ok: lock held
+	c.mu.Unlock()
+}
+
+func (c *counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n // ok: deferred unlock keeps it held
+}
+
+func (c *counter) BadInc() {
+	c.n++ // want "write to n without holding c.mu"
+}
+
+func (c *counter) BadGet() int {
+	return c.n // want "read of n without holding c.mu"
+}
+
+type gauge struct {
+	mu sync.RWMutex
+	// +req:guardedBy(mu)
+	v float64
+}
+
+func (g *gauge) Read() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v // ok: read lock suffices for a read
+}
+
+func (g *gauge) BadWriteUnderRLock() {
+	g.mu.RLock()
+	g.v = 1 // want "write to v without holding g.mu \\(need Lock\\)"
+	g.mu.RUnlock()
+}
+
+func (g *gauge) BadAfterUnlock() float64 {
+	g.mu.Lock()
+	g.mu.Unlock()
+	return g.v // want "read of v without holding g.mu"
+}
+
+// +req:locksRequired(g.mu)
+func (g *gauge) setLocked(x float64) {
+	g.v = x // ok: contract says callers hold mu
+}
+
+func (g *gauge) Set(x float64) {
+	g.mu.Lock()
+	g.setLocked(x) // ok: lock held at the call
+	g.mu.Unlock()
+}
+
+func (g *gauge) BadSet(x float64) {
+	g.setLocked(x) // want "call to setLocked requires g.mu held"
+}
+
+// +req:callsWithLock(mu)
+func (g *gauge) withLock(f func()) {
+	g.mu.Lock()
+	f()
+	g.mu.Unlock()
+}
+
+func (g *gauge) ViaCallback() {
+	g.withLock(func() {
+		g.v = 2 // ok: callback runs under mu
+	})
+}
+
+func (g *gauge) BadGoroutine() {
+	g.mu.Lock()
+	go func() {
+		g.v = 3 // want "write to v without holding g.mu"
+	}()
+	g.mu.Unlock()
+}
+
+func (g *gauge) TryPath() bool {
+	if g.mu.TryLock() {
+		g.v = 4 // ok: TryLock succeeded on this branch
+		g.mu.Unlock()
+		return true
+	}
+	return false
+}
+
+func (g *gauge) BothBranchesLock(b bool) {
+	if b {
+		g.mu.Lock()
+	} else {
+		g.mu.Lock()
+	}
+	g.v = 5 // ok: every path acquired the lock
+	g.mu.Unlock()
+}
+
+func (g *gauge) BadOneBranch(b bool) {
+	if b {
+		g.mu.Lock()
+		g.v = 6 // ok inside the locked branch
+		g.mu.Unlock()
+	}
+	g.v = 7 // want "write to v without holding g.mu"
+}
+
+type pool struct {
+	shards []*counter
+}
+
+// pick returns the first shard with its lock held.
+//
+// +req:locksAcquired(return.mu)
+func (p *pool) pick() *counter {
+	c := p.shards[0]
+	c.mu.Lock()
+	return c
+}
+
+// release gives a picked shard back.
+//
+// +req:locksRequired(c.mu)
+// +req:locksReleased(c.mu)
+func (p *pool) release(c *counter) {
+	c.mu.Unlock()
+}
+
+func (p *pool) Inc() {
+	c := p.pick()
+	c.n++ // ok: pick transferred mu ownership to c
+	p.release(c)
+}
+
+func (p *pool) BadAfterRelease() {
+	c := p.pick()
+	p.release(c)
+	c.n++ // want "write to n without holding c.mu"
+}
+
+func (p *pool) BadNoPick() {
+	c := p.shards[0]
+	p.release(c) // want "call to release requires c.mu held"
+}
+
+func (g *gauge) BadLoopCarry() {
+	g.mu.Lock()
+	g.mu.Unlock()
+	for i := 0; i < 3; i++ {
+		g.v = float64(i) // want "write to v without holding g.mu"
+	}
+}

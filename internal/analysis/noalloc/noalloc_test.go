@@ -1,0 +1,14 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"req/internal/analysis/internal/atest"
+)
+
+// TestNoalloc drives the real reqlint binary through
+// go vet -json over the golden module in testdata/src and matches the
+// diagnostics against its // want comments.
+func TestNoalloc(t *testing.T) {
+	atest.Run(t, "noalloc")
+}

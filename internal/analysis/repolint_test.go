@@ -1,0 +1,26 @@
+package analysis_test
+
+import (
+	"os/exec"
+	"testing"
+
+	"req/internal/analysis/internal/atest"
+)
+
+// TestRepoClean asserts the contract CI enforces: the full reqlint suite —
+// custom contract analyzers plus the stock passes — reports nothing on the
+// repository itself.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("vets the whole repository; skipped in -short mode")
+	}
+	tool := atest.Tool(t)
+	root := atest.ModuleRoot(t)
+
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("reqlint reported diagnostics on the repo:\n%s", out)
+	}
+}

@@ -1,0 +1,14 @@
+package slabalias_test
+
+import (
+	"testing"
+
+	"req/internal/analysis/internal/atest"
+)
+
+// TestSlabalias drives the real reqlint binary through
+// go vet -json over the golden module in testdata/src and matches the
+// diagnostics against its // want comments.
+func TestSlabalias(t *testing.T) {
+	atest.Run(t, "slabalias")
+}

@@ -1,0 +1,120 @@
+// Package a mirrors the shapes of internal/core's slab storage engine to
+// seed positive and negative cases for the slabalias analyzer. The analyzer
+// activates because this package declares a levelStore type.
+package a
+
+type item struct{ v float64 }
+
+type compactor struct {
+	buf    []item
+	sorted int
+}
+
+type levelStore struct {
+	slab []item
+}
+
+func (s *levelStore) ensure(levels []compactor, h, n int) {}
+func (s *levelStore) grow(n int)                          {}
+func (s *levelStore) addLevel(levels []compactor, b int) []compactor {
+	return levels
+}
+
+// resize is an approved helper: levelStore methods own the slab.
+func (s *levelStore) resize(n int) {
+	s.slab = make([]item, n) // ok: inside a levelStore method
+}
+
+type sketch struct {
+	store    levelStore
+	levels   []compactor
+	scratch  []item
+	mergeBuf []item
+}
+
+func (s *sketch) compactCascade(h int) {}
+
+func (s *sketch) okEnsuredAppend(x item) {
+	s.store.ensure(s.levels, 0, len(s.levels[0].buf)+1)
+	lv := &s.levels[0]
+	lv.buf = append(lv.buf, x) // ok: capacity just established
+}
+
+func (s *sketch) badBareAppend(x item) {
+	lv := &s.levels[0]
+	lv.buf = append(lv.buf, x) // want "append into a slab window without a preceding ensure"
+}
+
+func (s *sketch) badScratchAlias() {
+	s.scratch = s.levels[0].buf // want "scratch buffers must never alias the slab"
+}
+
+func (s *sketch) badScratchAliasViaLocal() {
+	w := s.levels[0].buf
+	s.scratch = w[:0] // want "scratch buffers must never alias the slab"
+}
+
+func (s *sketch) badMergeBufAlias() {
+	s.mergeBuf = s.levels[1].buf[:0] // want "scratch buffers must never alias the slab"
+}
+
+func (s *sketch) okScratchCopy() {
+	// Append-copy moves the items out of the slab; no aliasing.
+	s.scratch = append(s.scratch[:0], s.levels[0].buf...)
+}
+
+func (s *sketch) badStaleWindow() float64 {
+	tail := s.levels[0].buf[1:]
+	s.store.grow(64)
+	return tail[0].v // want "used after grow may have reallocated the slab"
+}
+
+func (s *sketch) okReslicedWindow() float64 {
+	tail := s.levels[0].buf[1:]
+	s.store.grow(64)
+	tail = s.levels[0].buf[1:]
+	return tail[0].v // ok: re-sliced after the growth
+}
+
+func (s *sketch) badStaleCompactor() {
+	c := &s.levels[0]
+	s.levels = s.store.addLevel(s.levels, 8)
+	c.sorted = 0 // want "re-take the pointer"
+}
+
+func (s *sketch) okRetakenCompactor() {
+	c := &s.levels[0]
+	s.levels = s.store.addLevel(s.levels, 8)
+	c = &s.levels[0]
+	c.sorted = 0 // ok: pointer re-taken after growth
+}
+
+func (s *sketch) okShieldedByContinue() {
+	for i := 0; i < 4; i++ {
+		lv := &s.levels[0]
+		if len(lv.buf) > 8 {
+			s.compactCascade(0)
+			continue
+		}
+		lv.sorted = 0 // ok: the continue shields this use from the compaction
+	}
+}
+
+func (s *sketch) okOtherSketchMutation(src *sketch, x item) {
+	add := src.levels[0].buf
+	s.store.ensure(s.levels, 0, len(s.levels[0].buf)+len(add))
+	lv := &s.levels[0]
+	lv.buf = append(lv.buf, add...) // ok: ensure was on s, add aliases src's slab
+}
+
+func badSlabSteal(s *sketch) {
+	s.store.slab = nil // want "slab may only be re-assigned inside levelStore methods"
+}
+
+func (s *sketch) badForeignWindowAssign(other []item) {
+	s.levels[0].buf = other // want "window re-assignment must derive from the same window"
+}
+
+func (s *sketch) okSelfSlice() {
+	s.levels[0].buf = s.levels[0].buf[:0] // ok: re-slice of the same window
+}

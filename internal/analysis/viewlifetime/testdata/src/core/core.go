@@ -1,0 +1,29 @@
+// Package core mimics the real internal/core surface the viewlifetime
+// analyzer keys on: a View type returned by SortedView and mutators that
+// invalidate it. The analyzer matches by package name ("core") and type
+// name ("View"), so this fixture exercises the same code paths as the real
+// package without importing it.
+package core
+
+// View is a borrowed, recycled query view: valid only until the next write
+// to the sketch that returned it.
+type View struct {
+	items []float64
+}
+
+// Rank is a read-only probe.
+func (v *View) Rank(x float64) uint64 { return 0 }
+
+// Sketch owns one recycled View.
+type Sketch struct {
+	view View
+}
+
+// Update writes to the sketch, invalidating outstanding views.
+func (s *Sketch) Update(x float64) {}
+
+// Merge writes to the sketch, invalidating outstanding views.
+func (s *Sketch) Merge(o *Sketch) {}
+
+// SortedView returns the sketch-owned view.
+func (s *Sketch) SortedView() *View { return &s.view }

@@ -1,0 +1,85 @@
+// Package use seeds positive and negative cases for the viewlifetime
+// analyzer from a consumer package (the owning core package is exempt).
+package use
+
+import "lint.test/core"
+
+type holder struct {
+	v *core.View
+}
+
+var global *core.View
+
+func okImmediateUse(s *core.Sketch) uint64 {
+	v := s.SortedView()
+	return v.Rank(0.5) // ok: consumed before any write
+}
+
+func okManyReads(s *core.Sketch) uint64 {
+	v := s.SortedView()
+	a := v.Rank(0.25)
+	b := v.Rank(0.75) // ok: reads don't invalidate
+	return a + b
+}
+
+func badFieldStore(h *holder, s *core.Sketch) {
+	h.v = s.SortedView() // want "stored in field v"
+}
+
+func badGlobalStore(s *core.Sketch) {
+	global = s.SortedView() // want "package-level variable"
+}
+
+func badElementStore(s *core.Sketch, vs []*core.View) {
+	vs[0] = s.SortedView() // want "container element"
+}
+
+func badCompositeLit(s *core.Sketch) holder {
+	return holder{v: s.SortedView()} // want "composite literal"
+}
+
+func badChannelSend(s *core.Sketch, ch chan *core.View) {
+	ch <- s.SortedView() // want "sent on channel"
+}
+
+func badReturn(s *core.Sketch) *core.View {
+	return s.SortedView() // want "returning a \\*View"
+}
+
+//req:viewpass
+func okAnnotatedForwarder(s *core.Sketch) *core.View {
+	return s.SortedView() // ok: declared pass-through
+}
+
+func badUseAfterUpdate(s *core.Sketch) uint64 {
+	v := s.SortedView()
+	s.Update(1)
+	return v.Rank(0.5) // want "used after Update"
+}
+
+func badUseAfterMerge(s, o *core.Sketch) uint64 {
+	v := s.SortedView()
+	s.Merge(o)
+	return v.Rank(0.5) // want "used after Merge"
+}
+
+func okRetakeAfterUpdate(s *core.Sketch) uint64 {
+	v := s.SortedView()
+	s.Update(1)
+	v = s.SortedView()
+	return v.Rank(0.5) // ok: view re-taken after the write
+}
+
+func okOtherSketchWrite(s, o *core.Sketch) uint64 {
+	v := s.SortedView()
+	o.Update(1)
+	return v.Rank(0.5) // ok: the write hit a different sketch
+}
+
+func mutate(s *core.Sketch) { s.Update(2) }
+
+func badUseAfterEscape(s *core.Sketch) uint64 {
+	v := s.SortedView()
+	mutate(s)
+	return v.Rank(0.5) // want "passing the sketch to mutate"
+}

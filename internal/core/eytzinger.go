@@ -86,6 +86,8 @@ func (v *View[T]) fillIndex(k, next int) int {
 // right turns) plus one leaves the last node where the search went left —
 // the standard ffs(~k) fixup. A result of 0 means the search ran off the
 // right edge (no qualifying element).
+//
+//req:noalloc
 func eytFixup(k int) int {
 	return k >> (uint(bits.TrailingZeros(^uint(k))) + 1)
 }
@@ -93,6 +95,8 @@ func eytFixup(k int) int {
 // rank returns the inclusive rank of y: descend to the first element > y;
 // everything before it is ≤ y. The loop condition k < len(items) doubles as
 // the bounds proof for items[k], so the descent runs check-free.
+//
+//req:noalloc
 func (idx *eytIndex[T]) rank(y T, less func(a, b T) bool) uint64 {
 	items := idx.items
 	k := 1
@@ -112,6 +116,8 @@ func (idx *eytIndex[T]) rank(y T, less func(a, b T) bool) uint64 {
 
 // rankExclusive returns the exclusive rank of y: descend to the first
 // element ≥ y.
+//
+//req:noalloc
 func (idx *eytIndex[T]) rankExclusive(y T, less func(a, b T) bool) uint64 {
 	items := idx.items
 	k := 1
@@ -191,6 +197,8 @@ func (idx *eytIndex[T]) rankBatch(ys []T, less func(a, b T) bool, emit func(qi i
 // reaches target (1 ≤ target ≤ total). clamp is returned if no position
 // qualifies, which can only happen for foreign snapshots whose retained
 // weight undershoots n.
+//
+//req:noalloc
 func (idx *eytIndex[T]) quantile(target uint64, clamp T) T {
 	cum := idx.cum
 	k := 1

@@ -131,40 +131,60 @@ func FrozenFromCoreset[T any](less func(a, b T) bool, cfg Config, n uint64, min,
 }
 
 // Count returns the total weight summarised (the stream length).
+//
+//req:noalloc
 func (f *Frozen[T]) Count() uint64 { return f.v.n }
 
 // Empty reports whether the snapshot summarises no items.
+//
+//req:noalloc
 func (f *Frozen[T]) Empty() bool { return f.v.n == 0 }
 
 // Min returns the smallest item seen. ok is false when empty.
+//
+//req:noalloc
 func (f *Frozen[T]) Min() (item T, ok bool) { return f.v.min, f.hasMinMax }
 
 // Max returns the largest item seen. ok is false when empty.
+//
+//req:noalloc
 func (f *Frozen[T]) Max() (item T, ok bool) { return f.v.max, f.hasMinMax }
 
 // Config returns the configuration of the source sketch.
 func (f *Frozen[T]) Config() Config { return f.cfg }
 
 // Size returns the number of retained coreset entries.
+//
+//req:noalloc
 func (f *Frozen[T]) Size() int { return len(f.v.items) }
 
 // ItemsRetained returns the number of retained coreset entries (alias of
 // Size, mirroring the sketch method).
+//
+//req:noalloc
 func (f *Frozen[T]) ItemsRetained() int { return len(f.v.items) }
 
 // Items returns the retained items ascending. Shared storage: read-only.
 func (f *Frozen[T]) Items() []T { return f.v.items }
 
 // Weight returns the weight carried by Items()[i].
+//
+//req:noalloc
 func (f *Frozen[T]) Weight(i int) uint64 { return f.v.Weight(i) }
 
 // Rank returns the estimated inclusive rank of y.
+//
+//req:noalloc
 func (f *Frozen[T]) Rank(y T) uint64 { return f.v.Rank(y) }
 
 // RankExclusive returns the estimated exclusive rank of y.
+//
+//req:noalloc
 func (f *Frozen[T]) RankExclusive(y T) uint64 { return f.v.RankExclusive(y) }
 
 // NormalizedRank returns Rank(y)/Count() in [0, 1] (0 when empty).
+//
+//req:noalloc
 func (f *Frozen[T]) NormalizedRank(y T) float64 {
 	if f.v.n == 0 {
 		return 0

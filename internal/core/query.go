@@ -25,6 +25,8 @@ var (
 // item. On a frozen sketch (cached view materialized) the rank is answered
 // by a single search on the view — branchless Eytzinger when the index has
 // been built by Freeze, binary otherwise.
+//
+//req:noalloc
 func (s *Sketch[T]) Rank(y T) uint64 {
 	if s.view != nil {
 		return s.view.Rank(y)
@@ -39,6 +41,8 @@ func (s *Sketch[T]) Rank(y T) uint64 {
 // RankExclusive returns the estimated exclusive rank of y: the number of
 // stream items x with x < y. Like Rank it binary-searches each sorted level
 // buffer, or the cached view when the sketch is frozen.
+//
+//req:noalloc
 func (s *Sketch[T]) RankExclusive(y T) uint64 {
 	if s.view != nil {
 		return s.view.RankExclusive(y)
@@ -53,6 +57,8 @@ func (s *Sketch[T]) RankExclusive(y T) uint64 {
 // levelCountLE counts items ≤ y in one compactor: a binary search over the
 // sorted prefix (stored descending in the caller's order for HRA sketches)
 // plus a linear scan of the unsorted tail.
+//
+//req:noalloc
 func (s *Sketch[T]) levelCountLE(c *compactor[T], y T) int {
 	var cnt int
 	if s.cfg.HRA {
@@ -69,6 +75,8 @@ func (s *Sketch[T]) levelCountLE(c *compactor[T], y T) int {
 }
 
 // levelCountLT counts items < y in one compactor; see levelCountLE.
+//
+//req:noalloc
 func (s *Sketch[T]) levelCountLT(c *compactor[T], y T) int {
 	var cnt int
 	if s.cfg.HRA {
@@ -342,6 +350,8 @@ func (s *Sketch[T]) repairTailView() *View[T] {
 }
 
 // viewRevalidated marks the spare view current after a rebuild or repair.
+//
+//req:noalloc
 func (s *Sketch[T]) viewRevalidated() {
 	s.view = s.spare
 	s.viewDirty = 0
@@ -485,6 +495,8 @@ func (v *View[T]) Items() []T { return v.items }
 func (v *View[T]) CumulativeWeights() []uint64 { return v.cum }
 
 // Rank returns the estimated inclusive rank of y.
+//
+//req:noalloc
 func (v *View[T]) Rank(y T) uint64 {
 	if v.idx.built {
 		return v.idx.rank(y, v.less)
@@ -497,6 +509,8 @@ func (v *View[T]) Rank(y T) uint64 {
 }
 
 // RankExclusive returns the estimated exclusive rank of y.
+//
+//req:noalloc
 func (v *View[T]) RankExclusive(y T) uint64 {
 	if v.idx.built {
 		return v.idx.rankExclusive(y, v.less)
@@ -649,6 +663,8 @@ func (v *View[T]) QuantilesInto(dst []T, phis []float64) ([]T, error) {
 // quantileAt resolves one (validated) φ during a sorted sweep: pos is the
 // cursor into cum below which every cumulative weight is known to be short
 // of earlier targets. It returns the estimate and the advanced cursor.
+//
+//req:noalloc
 func (v *View[T]) quantileAt(phi float64, pos int) (T, int) {
 	if phi == 0 {
 		return v.min, pos
@@ -718,6 +734,8 @@ func (v *View[T]) PMFInto(dst []float64, splits []T) ([]float64, error) {
 
 // Weight returns the weight of items[i] (the difference of consecutive
 // cumulative weights).
+//
+//req:noalloc
 func (v *View[T]) Weight(i int) uint64 {
 	if i == 0 {
 		return v.cum[0]

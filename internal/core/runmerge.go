@@ -87,6 +87,8 @@ func (s *Sketch[T]) settleLevel(h int) {
 
 // countLEDesc returns the number of elements ≤ y in xs, which must be
 // sorted descending under less (the storage order of HRA sketches).
+//
+//req:noalloc
 func countLEDesc[T any](xs []T, y T, less func(a, b T) bool) int {
 	lo, hi := 0, len(xs)
 	for lo < hi {
@@ -102,6 +104,8 @@ func countLEDesc[T any](xs []T, y T, less func(a, b T) bool) int {
 
 // countLTDesc returns the number of elements strictly less than y in xs,
 // which must be sorted descending under less.
+//
+//req:noalloc
 func countLTDesc[T any](xs []T, y T, less func(a, b T) bool) int {
 	lo, hi := 0, len(xs)
 	for lo < hi {
@@ -121,6 +125,8 @@ func countLTDesc[T any](xs []T, y T, less func(a, b T) bool) int {
 // Exponential probing followed by a binary search keeps the cost
 // O(log(gap)) in the distance advanced, so a whole ascending sweep is O(n)
 // worst case and O(m·log(n/m)) for m spread-out probes.
+//
+//req:noalloc
 func gallopLE[T any](xs []T, from int, y T, less func(a, b T) bool) int {
 	n := len(xs)
 	if from >= n || less(y, xs[from]) {
@@ -147,6 +153,8 @@ func gallopLE[T any](xs []T, from int, y T, less func(a, b T) bool) int {
 
 // gallopCumGE returns the index of the first entry ≥ target in the
 // non-decreasing cumulative-weight array, starting at from; see gallopLE.
+//
+//req:noalloc
 func gallopCumGE(cum []uint64, from int, target uint64) int {
 	n := len(cum)
 	if from >= n || cum[from] >= target {

@@ -131,6 +131,8 @@ func (s *Sketch[T]) internalLess(a, b T) bool {
 // markAppended invalidates the cached view after an append-only mutation of
 // level h: the spare view stays repairable (for h = 0) because the existing
 // buffer prefix is untouched.
+//
+//req:noalloc
 func (s *Sketch[T]) markAppended(h int) {
 	s.view = nil
 	if h < 64 {
@@ -143,6 +145,8 @@ func (s *Sketch[T]) markAppended(h int) {
 // markStructural invalidates the cached view after a mutation that reordered,
 // truncated, or rebuilt buffers (compaction, growth, merge, reset); the next
 // query rebuilds the view from scratch into the spare's storage.
+//
+//req:noalloc
 func (s *Sketch[T]) markStructural() {
 	s.view = nil
 	s.viewStructural = true

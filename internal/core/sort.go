@@ -120,6 +120,8 @@ func siftDown[T any](xs []T, root, end int, less func(a, b T) bool) {
 }
 
 // isSorted reports whether xs is non-decreasing under less.
+//
+//req:noalloc
 func isSorted[T any](xs []T, less func(a, b T) bool) bool {
 	for i := 1; i < len(xs); i++ {
 		if less(xs[i], xs[i-1]) {
@@ -130,6 +132,8 @@ func isSorted[T any](xs []T, less func(a, b T) bool) bool {
 }
 
 // isSortedDesc reports whether xs is non-increasing under less.
+//
+//req:noalloc
 func isSortedDesc[T any](xs []T, less func(a, b T) bool) bool {
 	for i := 1; i < len(xs); i++ {
 		if less(xs[i-1], xs[i]) {
@@ -141,6 +145,8 @@ func isSortedDesc[T any](xs []T, less func(a, b T) bool) bool {
 
 // searchLE returns the number of elements in sorted xs that are ≤ y, i.e.,
 // the index of the first element strictly greater than y.
+//
+//req:noalloc
 func searchLE[T any](xs []T, y T, less func(a, b T) bool) int {
 	lo, hi := 0, len(xs)
 	for lo < hi {
@@ -155,6 +161,8 @@ func searchLE[T any](xs []T, y T, less func(a, b T) bool) int {
 }
 
 // searchLT returns the number of elements in sorted xs strictly less than y.
+//
+//req:noalloc
 func searchLT[T any](xs []T, y T, less func(a, b T) bool) int {
 	lo, hi := 0, len(xs)
 	for lo < hi {

@@ -46,6 +46,8 @@ type window struct {
 // realias rebuilds every level's buf alias from the window table after the
 // slab moved or windows shifted. Each buf keeps its current length; offset
 // and capacity come from the window.
+//
+//req:noalloc
 func (st *levelStore[T]) realias(levels []compactor[T]) {
 	for i := range levels {
 		w := st.win[i]

@@ -53,13 +53,15 @@ type Sharded[T any] struct {
 	// rebuildMu serializes snapshot rebuilds so racing queries do the
 	// clone-and-merge work once.
 	rebuildMu sync.Mutex
-	// stage (guarded by rebuildMu) holds one reusable staging sketch per
-	// shard: each epoch refreshes them in place with CopyFrom instead of
-	// allocating fresh deep clones under the shard locks, so the per-epoch
-	// rebuild cost is dominated by the merge itself. The merged result is
-	// still a fresh sketch every epoch — published snapshots are read
-	// lock-free by any number of goroutines for an unbounded time, so their
-	// storage can never be recycled without reference counting.
+	// stage holds one reusable staging sketch per shard: each epoch
+	// refreshes them in place with CopyFrom instead of allocating fresh
+	// deep clones under the shard locks, so the per-epoch rebuild cost is
+	// dominated by the merge itself. The merged result is still a fresh
+	// sketch every epoch — published snapshots are read lock-free by any
+	// number of goroutines for an unbounded time, so their storage can
+	// never be recycled without reference counting.
+	//
+	// +req:guardedBy(rebuildMu)
 	stage []*core.Sketch[T]
 }
 
@@ -69,6 +71,7 @@ type Sharded[T any] struct {
 // neighbouring shards on distinct cache lines.
 type shardOf[T any] struct {
 	mu sync.Mutex
+	// +req:guardedBy(mu)
 	sk *core.Sketch[T]
 	// version counts mutations (updates, merges, resets); bumped under mu,
 	// read without it by the snapshot staleness check.
@@ -144,6 +147,8 @@ func (s *Sharded[T]) NumShards() int { return len(s.shards) }
 // uncontended and cache-hot. If that shard is busy, a try-lock sweep from
 // a round-robin ticket finds a free shard; only when every shard is busy
 // does the writer block. commitLocked returns the shard to the pool.
+//
+// +req:locksAcquired(return.mu)
 func (s *Sharded[T]) writeShard() *shardOf[T] {
 	if v := s.affinity.Get(); v != nil {
 		sh := v.(*shardOf[T])
@@ -165,6 +170,9 @@ func (s *Sharded[T]) writeShard() *shardOf[T] {
 
 // commitLocked records a mutation on sh, releases its lock, and restores
 // the caller's affinity to it.
+//
+// +req:locksRequired(sh.mu)
+// +req:locksReleased(sh.mu)
 func (s *Sharded[T]) commitLocked(sh *shardOf[T]) {
 	sh.count.Store(sh.sk.Count())
 	sh.version.Add(1)

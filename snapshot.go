@@ -45,27 +45,41 @@ type SnapshotFloat64 = Snapshot[float64]
 type SnapshotUint64 = Snapshot[uint64]
 
 // Count returns the total number of items summarised at capture time.
+//
+//req:noalloc
 func (sn *Snapshot[T]) Count() uint64 { return sn.f.Count() }
 
 // Empty reports whether the snapshot summarises no items.
+//
+//req:noalloc
 func (sn *Snapshot[T]) Empty() bool { return sn.f.Empty() }
 
 // Min returns the smallest item seen (tracked exactly). ok is false when
 // the snapshot is empty.
+//
+//req:noalloc
 func (sn *Snapshot[T]) Min() (item T, ok bool) { return sn.f.Min() }
 
 // Max returns the largest item seen (tracked exactly). ok is false when
 // the snapshot is empty.
+//
+//req:noalloc
 func (sn *Snapshot[T]) Max() (item T, ok bool) { return sn.f.Max() }
 
 // Rank returns the estimated inclusive rank of y, answered from the
 // snapshot's rank index; see Sketch.Rank for the guarantee.
+//
+//req:noalloc
 func (sn *Snapshot[T]) Rank(y T) uint64 { return sn.f.Rank(y) }
 
 // RankExclusive returns the estimated exclusive rank of y.
+//
+//req:noalloc
 func (sn *Snapshot[T]) RankExclusive(y T) uint64 { return sn.f.RankExclusive(y) }
 
 // NormalizedRank returns Rank(y)/Count() in [0, 1] (0 when empty).
+//
+//req:noalloc
 func (sn *Snapshot[T]) NormalizedRank(y T) float64 { return sn.f.NormalizedRank(y) }
 
 // RankBatch answers every probe in ys with one galloping sweep, writing
@@ -110,6 +124,8 @@ func (sn *Snapshot[T]) PMFInto(dst []float64, splits []T) ([]float64, error) {
 }
 
 // ItemsRetained returns the number of coreset entries the snapshot holds.
+//
+//req:noalloc
 func (sn *Snapshot[T]) ItemsRetained() int { return sn.f.Size() }
 
 // All iterates the snapshot's weighted coreset: every retained item in
