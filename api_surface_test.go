@@ -146,6 +146,7 @@ var apiSurfaceGolden = []string{
 	"ConcurrentFloat64.Rank",
 	"ConcurrentFloat64.RankBatch",
 	"ConcurrentFloat64.RankExclusive",
+	"ConcurrentFloat64.SaveSnapshot",
 	"ConcurrentFloat64.Snapshot",
 	"ConcurrentFloat64.Update",
 	"ConcurrentFloat64.UpdateAll",
@@ -155,14 +156,23 @@ var apiSurfaceGolden = []string{
 	"ErrBadRank",
 	"ErrCorrupt",
 	"ErrEmpty",
+	"ErrNoSnapshot",
+	"ErrTornWrite",
 	"Float64",
 	"Float64.Clone",
 	"Float64.MarshalBinary",
 	"Float64.Merge",
+	"Float64.SaveSnapshot",
 	"Float64.UnmarshalBinary",
 	"Float64.Update",
 	"Float64.UpdateAll",
 	"Float64.UpdateBatch",
+	"MappedFloat64",
+	"MappedSnapshot",
+	"MappedSnapshot.Close",
+	"MappedSnapshot.Generation",
+	"MappedSnapshot.Mapped",
+	"MappedUint64",
 	"New",
 	"NewConcurrentFloat64",
 	"NewFloat64",
@@ -170,6 +180,11 @@ var apiSurfaceGolden = []string{
 	"NewShardedFloat64",
 	"NewShardedUint64",
 	"NewUint64",
+	"OpenOption",
+	"OpenSnapshotFileFloat64",
+	"OpenSnapshotFileUint64",
+	"OpenSnapshotFloat64",
+	"OpenSnapshotUint64",
 	"Option",
 	"Reader",
 	"Sharded",
@@ -194,6 +209,7 @@ var apiSurfaceGolden = []string{
 	"Sharded.RankBatch",
 	"Sharded.RankExclusive",
 	"Sharded.Reset",
+	"Sharded.SaveSnapshot",
 	"Sharded.Snapshot",
 	"Sharded.Update",
 	"Sharded.UpdateAll",
@@ -267,16 +283,23 @@ var apiSurfaceGolden = []string{
 	"Snapshot.Rank",
 	"Snapshot.RankBatch",
 	"Snapshot.RankExclusive",
+	"Snapshot.SaveSnapshot",
 	"Snapshot.String",
+	"Snapshot.WriteSnapshotFile",
 	"SnapshotFloat64",
 	"SnapshotUint64",
 	"Uint64",
 	"Uint64.Clone",
 	"Uint64.MarshalBinary",
 	"Uint64.Merge",
+	"Uint64.SaveSnapshot",
 	"Uint64.UnmarshalBinary",
 	"UnmarshalSnapshotFloat64",
 	"UnmarshalSnapshotUint64",
+	"VerifyChecksum",
+	"VerifyFull",
+	"VerifyMode",
+	"VerifyNone",
 	"WeightedItem",
 	"WithDelta",
 	"WithEpsilon",
@@ -287,4 +310,6 @@ var apiSurfaceGolden = []string{
 	"WithSeed",
 	"WithShards",
 	"WithTheorem2Mode",
+	"WithVerify",
+	"WithoutMmap",
 }

@@ -9,6 +9,15 @@
 //	reqcli -rank 250 < latencies.txt        # estimated #values ≤ 250
 //	reqcli -demo 1000000                    # built-in latency demo stream
 //	reqcli -dump                            # print internal structure
+//
+// Persistence subcommands:
+//
+//	reqcli save -dir ./snaps -demo 1000000   # ingest, then save a snapshot generation
+//	reqcli save -file snap.reqsnap < data    # ingest, save one standalone file
+//	reqcli load -dir ./snaps -q 0.5,0.99     # query the newest valid generation (zero-copy)
+//	reqcli load -file snap.reqsnap -rank 250
+//	reqcli inspect ./snaps                   # per-generation format/checksum report
+//	reqcli inspect snap.reqsnap
 package main
 
 import (
@@ -16,15 +25,30 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"req"
 	"req/internal/rng"
+	"req/internal/snapstore"
 	"req/internal/streams"
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "save":
+			saveCmd(os.Args[2:])
+			return
+		case "load":
+			loadCmd(os.Args[2:])
+			return
+		case "inspect":
+			inspectCmd(os.Args[2:])
+			return
+		}
+	}
 	var (
 		eps      = flag.Float64("eps", 0.01, "relative error target ε")
 		delta    = flag.Float64("delta", 0.01, "failure probability δ")
@@ -46,38 +70,7 @@ func main() {
 		fatal(err)
 	}
 
-	if *demo > 0 {
-		sk.UpdateBatch((streams.Latency{}).Generate(*demo, rng.New(*seed)))
-	} else {
-		// Parse into a fixed-size buffer and flush through the batch ingest
-		// path: one bound check and compaction cascade per 4096 values
-		// instead of per line.
-		scanner := bufio.NewScanner(os.Stdin)
-		scanner.Buffer(make([]byte, 1<<20), 1<<20)
-		batch := make([]float64, 0, 4096)
-		line := 0
-		for scanner.Scan() {
-			line++
-			text := strings.TrimSpace(scanner.Text())
-			if text == "" {
-				continue
-			}
-			v, err := strconv.ParseFloat(text, 64)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "reqcli: line %d: %v (skipped)\n", line, err)
-				continue
-			}
-			batch = append(batch, v)
-			if len(batch) == cap(batch) {
-				sk.UpdateBatch(batch)
-				batch = batch[:0]
-			}
-		}
-		if err := scanner.Err(); err != nil {
-			fatal(err)
-		}
-		sk.UpdateBatch(batch)
-	}
+	ingest(sk, *demo, *seed)
 
 	if sk.Empty() {
 		fatal(fmt.Errorf("no input values"))
@@ -88,15 +81,61 @@ func main() {
 	fmt.Printf("n=%d  retained=%d items  levels=%d  min=%g  max=%g\n",
 		sk.Count(), sk.ItemsRetained(), sk.NumLevels(), mn, mx)
 
-	if *qList != "" {
+	answerQueries(sk.Snapshot(), *qList, *rankAt)
+
+	if *dumpFlag {
+		fmt.Println()
+		fmt.Print(sk.DebugString())
+	}
+}
+
+// ingest feeds the sketch from the demo generator or stdin.
+func ingest(sk *req.Float64, demo int, seed uint64) {
+	if demo > 0 {
+		sk.UpdateBatch((streams.Latency{}).Generate(demo, rng.New(seed)))
+		return
+	}
+	// Parse into a fixed-size buffer and flush through the batch ingest
+	// path: one bound check and compaction cascade per 4096 values
+	// instead of per line.
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	batch := make([]float64, 0, 4096)
+	line := 0
+	for scanner.Scan() {
+		line++
+		text := strings.TrimSpace(scanner.Text())
+		if text == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reqcli: line %d: %v (skipped)\n", line, err)
+			continue
+		}
+		batch = append(batch, v)
+		if len(batch) == cap(batch) {
+			sk.UpdateBatch(batch)
+			batch = batch[:0]
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		fatal(err)
+	}
+	sk.UpdateBatch(batch)
+}
+
+// answerQueries prints quantile and rank answers from any snapshot reader.
+func answerQueries(sn *req.SnapshotFloat64, qList, rankAt string) {
+	if qList != "" {
 		fmt.Println("\nquantiles:")
-		for _, part := range strings.Split(*qList, ",") {
+		for _, part := range strings.Split(qList, ",") {
 			phi, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "reqcli: bad quantile %q (skipped)\n", part)
 				continue
 			}
-			q, err := sk.Quantile(phi)
+			q, err := sn.Quantile(phi)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "reqcli: quantile %v: %v\n", phi, err)
 				continue
@@ -105,23 +144,147 @@ func main() {
 		}
 	}
 
-	if *rankAt != "" {
+	if rankAt != "" {
 		fmt.Println("\nranks:")
-		for _, part := range strings.Split(*rankAt, ",") {
+		for _, part := range strings.Split(rankAt, ",") {
 			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "reqcli: bad value %q (skipped)\n", part)
 				continue
 			}
-			r := sk.Rank(v)
-			fmt.Printf("  rank(%g) ≈ %d  (normalized %.6f)\n", v, r, sk.NormalizedRank(v))
+			r := sn.Rank(v)
+			fmt.Printf("  rank(%g) ≈ %d  (normalized %.6f)\n", v, r, sn.NormalizedRank(v))
 		}
 	}
+}
 
-	if *dumpFlag {
-		fmt.Println()
-		fmt.Print(sk.DebugString())
+// saveCmd ingests a stream and durably persists the snapshot.
+func saveCmd(args []string) {
+	fs := flag.NewFlagSet("reqcli save", flag.ExitOnError)
+	var (
+		eps  = fs.Float64("eps", 0.01, "relative error target ε")
+		hra  = fs.Bool("hra", false, "high-rank accuracy (tail monitoring)")
+		seed = fs.Uint64("seed", 1, "random seed")
+		demo = fs.Int("demo", 0, "skip stdin; generate this many synthetic latency values")
+		dir  = fs.String("dir", "", "snapshot directory (generation rotation)")
+		file = fs.String("file", "", "standalone snapshot file path (no rotation)")
+	)
+	fs.Parse(args)
+	if (*dir == "") == (*file == "") {
+		fatal(fmt.Errorf("save: exactly one of -dir or -file is required"))
 	}
+	opts := []req.Option{req.WithEpsilon(*eps), req.WithSeed(*seed)}
+	if *hra {
+		opts = append(opts, req.WithHighRankAccuracy())
+	}
+	sk, err := req.NewFloat64(opts...)
+	if err != nil {
+		fatal(err)
+	}
+	ingest(sk, *demo, *seed)
+	if *dir != "" {
+		gen, err := sk.SaveSnapshot(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved generation %d: n=%d retained=%d → %s\n",
+			gen, sk.Count(), sk.ItemsRetained(), filepath.Join(*dir, snapstore.GenName(gen)))
+		return
+	}
+	if err := sk.Snapshot().WriteSnapshotFile(*file); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("saved: n=%d retained=%d → %s\n", sk.Count(), sk.ItemsRetained(), *file)
+}
+
+// loadCmd opens a persisted snapshot zero-copy and answers queries.
+func loadCmd(args []string) {
+	fs := flag.NewFlagSet("reqcli load", flag.ExitOnError)
+	var (
+		dir    = fs.String("dir", "", "snapshot directory (opens newest valid generation)")
+		file   = fs.String("file", "", "standalone snapshot file path")
+		qList  = fs.String("q", "0.5,0.9,0.99,0.999", "comma-separated quantiles to report")
+		rankAt = fs.String("rank", "", "comma-separated values to rank-query")
+		verify = fs.String("verify", "checksum", "verification level: checksum, full, or none")
+	)
+	fs.Parse(args)
+	if (*dir == "") == (*file == "") {
+		fatal(fmt.Errorf("load: exactly one of -dir or -file is required"))
+	}
+	var mode req.VerifyMode
+	switch *verify {
+	case "checksum":
+		mode = req.VerifyChecksum
+	case "full":
+		mode = req.VerifyFull
+	case "none":
+		mode = req.VerifyNone
+	default:
+		fatal(fmt.Errorf("load: unknown -verify level %q", *verify))
+	}
+	var (
+		m   *req.MappedFloat64
+		err error
+	)
+	if *dir != "" {
+		m, err = req.OpenSnapshotFloat64(*dir, req.WithVerify(mode))
+	} else {
+		m, err = req.OpenSnapshotFileFloat64(*file, req.WithVerify(mode))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	defer m.Close()
+	mn, _ := m.Min()
+	mx, _ := m.Max()
+	how := "read"
+	if m.Mapped() {
+		how = "mmap"
+	}
+	fmt.Printf("generation=%d (%s)  n=%d  retained=%d items  min=%g  max=%g\n",
+		m.Generation(), how, m.Count(), m.ItemsRetained(), mn, mx)
+	answerQueries(&m.Snapshot, *qList, *rankAt)
+}
+
+// inspectCmd prints a format/checksum report for snapshot files or every
+// generation in a directory — including damaged files OpenSnapshot rejects.
+func inspectCmd(args []string) {
+	fs := flag.NewFlagSet("reqcli inspect", flag.ExitOnError)
+	fs.Parse(args)
+	paths := fs.Args()
+	if len(paths) == 0 {
+		fatal(fmt.Errorf("inspect: at least one snapshot file or directory required"))
+	}
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			fatal(err)
+		}
+		if !info.IsDir() {
+			inspectOne(p)
+			continue
+		}
+		st := snapstore.NewStore(snapstore.OS, p)
+		gens, err := st.Generations()
+		if err != nil {
+			fatal(err)
+		}
+		if len(gens) == 0 {
+			fmt.Printf("%s: no snapshot generations\n", p)
+			continue
+		}
+		for _, gen := range gens {
+			inspectOne(st.PathFor(gen))
+		}
+	}
+}
+
+func inspectOne(path string) {
+	rep, err := snapstore.Inspect(snapstore.OS, path)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("— %s\n%s", path, rep)
 }
 
 func trimZeros(v float64) string {

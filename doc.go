@@ -96,6 +96,46 @@
 // mistaken for a resumable sketch (each decoder rejects the other record
 // kind with ErrCorrupt).
 //
+// # Durability: crash-safe persistence, zero-copy open
+//
+// Snapshots also persist to disk in a page-aligned slab format that is
+// opened zero-copy (see internal/snapstore for the format):
+//
+//	gen, _ := s.SaveSnapshot(dir)        // any container; new generation
+//	m, _ := req.OpenSnapshotFloat64(dir) // newest valid generation, mmap'd
+//	defer m.Close()
+//	p99, _ := m.Quantile(0.99)           // served from the page cache
+//
+// SaveSnapshot is atomic: it writes a temp file, fsyncs it, renames it
+// into place as the next numbered generation, and fsyncs the directory —
+// a crash at any point leaves the previous generation intact, and prior
+// generations are pruned only after the new one is durable. OpenSnapshot*
+// scans generations newest-first and degrades past damaged files: a
+// footer written last detects torn writes in O(1) (ErrTornWrite), a
+// CRC32C per section detects bit-rot, and ErrNoSnapshot / ErrCorrupt
+// distinguish "nothing saved yet" from "everything damaged". This
+// old-or-new recovery contract is proven by the fault-injection crash
+// matrix in internal/snapstore, which sweeps a fault budget across every
+// byte and metadata operation of a save.
+//
+// The five frozen-view arrays are stored 64-byte-aligned exactly as they
+// live in memory, so on little-endian platforms the returned
+// MappedSnapshot aliases the read-only mapping in place: open cost is
+// O(1) in the coreset size and queries read straight from the page cache
+// with zero per-query allocations. Close unmaps; the mapping stays valid
+// even if the file is pruned meanwhile. WithVerify selects the open-time
+// verification level (VerifyChecksum by default; VerifyFull adds
+// structural validation of the decoded arrays, catching a writer that
+// lied under honest checksums; VerifyNone trusts the file for O(1)
+// opens), and WithoutMmap forces the portable copying read path used
+// automatically wherever mapping or aliasing is unavailable.
+//
+// Snapshot.WriteSnapshotFile writes one standalone slab file with no
+// generation bookkeeping, and OpenSnapshotFileFloat64 / ...Uint64 open
+// one; reqcli's save, load, and inspect subcommands expose the same
+// machinery (inspect prints a per-section checksum report even for files
+// the opener rejects).
+//
 // # Modes
 //
 // Three parameterisations are exposed (see the paper's Sections 4, Appendix

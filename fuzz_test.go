@@ -30,6 +30,20 @@ func FuzzDecodeFloat64(f *testing.F) {
 	f.Add(mut)
 	snapBlob, _ := full.Snapshot().MarshalBinary()
 	f.Add(snapBlob)
+	// Hostile-geometry regressions: headers whose khat/eps demand absurd
+	// restore capacity once made the decoder panic (float→int overflow) or
+	// allocate gigabytes; they must be cheap ErrCorrupt rejections.
+	for _, hostile := range [][2]interface{}{
+		{25, 1e15}, {25, math.Inf(1)}, {25, math.NaN()}, {9, math.NaN()},
+	} {
+		h := append([]byte(nil), blob2...)
+		off, v := hostile[0].(int), hostile[1].(float64)
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			h[off+i] = byte(bits >> (8 * i))
+		}
+		f.Add(h)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := DecodeFloat64(data)
@@ -73,6 +87,17 @@ func FuzzDecodeSnapshotFloat64(f *testing.F) {
 		mut := append([]byte(nil), snapBlob...)
 		mut[off] ^= 0xFF
 		f.Add(mut)
+	}
+	// Hostile-geometry headers (see FuzzDecodeFloat64): khat/eps chosen to
+	// bait a huge allocation out of the config-driven restore path.
+	for _, hostile := range [][2]interface{}{{25, 1e15}, {25, math.NaN()}, {9, math.NaN()}} {
+		h := append([]byte(nil), snapBlob...)
+		off, v := hostile[0].(int), hostile[1].(float64)
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			h[off+i] = byte(bits >> (8 * i))
+		}
+		f.Add(h)
 	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -125,7 +125,27 @@ type Config struct {
 	Shards int
 }
 
-// Normalize validates cfg and fills defaults in place.
+// Accuracy-parameter sanity caps. These bound the buffer geometry a config
+// can demand: decoders hand Normalize attacker-controlled headers, and an
+// unchecked k̂ or K flows straight into the capacity of the level slab — a
+// 100-byte record must not be able to request a multi-gigabyte (or, via
+// float→int overflow, negative-length) allocation. The caps are far beyond
+// any honest configuration: MaxKHat corresponds to ε ≈ 3·10⁻¹² and MaxK is
+// 4096× the largest K Apache DataSketches accepts.
+const (
+	// MaxKHat bounds the mergeable-mode accuracy driver k̂.
+	MaxKHat = 1e12
+	// MaxK bounds the fixed section size of ModeFixedK.
+	MaxK = 1 << 26
+	// minEps bounds ε below; smaller values drive k beyond MaxKHat anyway.
+	minEps = 1e-12
+)
+
+// Normalize validates cfg and fills defaults in place. Validation treats
+// the config as untrusted (it may come from a decoded header): non-finite
+// floats are rejected explicitly — a NaN ε passes range comparisons, then
+// poisons every derived quantity — and the accuracy drivers are capped so
+// the implied buffer geometry stays allocatable.
 func (c *Config) Normalize() error {
 	if c.Eps == 0 {
 		c.Eps = DefaultEpsilon
@@ -133,16 +153,19 @@ func (c *Config) Normalize() error {
 	if c.Delta == 0 {
 		c.Delta = DefaultDelta
 	}
-	if c.Eps <= 0 || c.Eps >= 1 {
-		return fmt.Errorf("core: epsilon %v out of range (0, 1)", c.Eps)
+	if math.IsNaN(c.Eps) || c.Eps < minEps || c.Eps >= 1 {
+		return fmt.Errorf("core: epsilon %v out of range [%v, 1)", c.Eps, minEps)
 	}
-	if c.Delta <= 0 || c.Delta > 0.5 {
+	if math.IsNaN(c.Delta) || c.Delta <= 0 || c.Delta > 0.5 {
 		return fmt.Errorf("core: delta %v out of range (0, 0.5]", c.Delta)
 	}
 	switch c.Mode {
 	case ModeMergeable:
 		if c.KHat == 0 {
 			c.KHat = KHatFor(c.Eps, c.Delta)
+		}
+		if math.IsNaN(c.KHat) || c.KHat < 0 || c.KHat > MaxKHat {
+			return fmt.Errorf("core: k̂ %v out of range [0, %v]", c.KHat, float64(MaxKHat))
 		}
 		if c.KHat < 2 {
 			c.KHat = 2
@@ -152,6 +175,9 @@ func (c *Config) Normalize() error {
 	case ModeFixedK:
 		if c.K < 4 {
 			return fmt.Errorf("core: fixed k = %d must be ≥ 4", c.K)
+		}
+		if c.K > MaxK {
+			return fmt.Errorf("core: fixed k = %d exceeds cap %d", c.K, MaxK)
 		}
 		if c.K%2 != 0 {
 			return fmt.Errorf("core: fixed k = %d must be even", c.K)

@@ -63,6 +63,12 @@ func (s *Sketch[T]) Snapshot() Snapshot[T] {
 	return snap
 }
 
+// maxRestoreCapacity caps the total level-slab capacity (in items) that
+// FromSnapshot will allocate for a decoded snapshot: untrusted headers
+// choose the geometry, so the implied allocation must be bounded by a
+// constant, not by attacker-supplied accuracy parameters.
+const maxRestoreCapacity = 1 << 28
+
 // FromSnapshot reconstructs a sketch from a snapshot, validating structural
 // consistency (weight conservation, bound sanity, buffer sizes). The less
 // function must match the one the snapshot was taken under; this cannot be
@@ -100,6 +106,16 @@ func FromSnapshot[T any](less func(a, b T) bool, snap Snapshot[T]) (*Sketch[T], 
 		stats:     snap.Stats,
 	}
 	s.rnd.Restore(snap.RNG)
+	// The restored slab is levels × geom.b items, and geom.b is derived from
+	// header fields an attacker controls (k̂, K, ε, bound) — not from the
+	// payload. Cap the total before allocating: a tiny hostile record must
+	// not be able to demand a multi-gigabyte slab (or overflow the int
+	// arithmetic into a make panic). Honest sketches sit far below the cap —
+	// it admits ~2 GiB of 8-byte items, beyond ε = 10⁻⁵ at 2⁶² streams.
+	if s.geom.b <= 0 ||
+		int64(s.geom.b)*int64(len(snap.Levels)) > maxRestoreCapacity {
+		return nil, fmt.Errorf("core: snapshot geometry demands %d levels × %d capacity, beyond the restore cap", len(snap.Levels), s.geom.b)
+	}
 	// Validate level sizes before laying out storage, then build the whole
 	// slab in one allocation with a geometry-capacity window per level.
 	var weight uint64

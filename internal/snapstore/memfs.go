@@ -1,0 +1,439 @@
+package snapstore
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MemFS is an in-memory FS with explicit durability semantics, built for
+// the crash matrix. It tracks two states:
+//
+//   - the VOLATILE state: everything written so far (page cache + dirty
+//     metadata on a real system);
+//   - the PERSISTED state: file contents as of each file's last Sync, and
+//     the namespace (which names exist, pointing at which files) as of the
+//     last SyncDir.
+//
+// Crash() discards the volatile state, modelling a power cut in which
+// nothing unsynced survived. The opposite extreme — everything written
+// survived — is the volatile state itself. A real crash lands between the
+// two; a store is crash-safe iff recovery succeeds from both extremes and
+// from every torn prefix the injector produces, which is exactly what the
+// matrix drives.
+type MemFS struct {
+	mu sync.Mutex
+	// cur is the volatile namespace: name → file object.
+	cur map[string]*memFile
+	// dirs is the volatile set of directories.
+	dirs map[string]bool
+	// pnames is the persisted namespace, pdirs the persisted directories.
+	pnames map[string]*memFile
+	pdirs  map[string]bool
+}
+
+// memFile is one file object (identity survives rename). data is the
+// volatile content; synced is the content as of the last Sync.
+type memFile struct {
+	data   []byte
+	synced []byte
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		cur:    map[string]*memFile{},
+		dirs:   map[string]bool{"/": true, ".": true},
+		pnames: map[string]*memFile{},
+		pdirs:  map[string]bool{"/": true, ".": true},
+	}
+}
+
+// Crash discards all volatile state: every file's content reverts to its
+// last-synced bytes and the namespace reverts to its last SyncDir. Open
+// handles and subsequent writes through them are the caller's
+// responsibility (the matrix never writes after a crash).
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cur = make(map[string]*memFile, len(m.pnames))
+	for name, f := range m.pnames {
+		f.data = append([]byte(nil), f.synced...)
+		m.cur[name] = f
+	}
+	m.dirs = make(map[string]bool, len(m.pdirs))
+	for d := range m.pdirs {
+		m.dirs[d] = true
+	}
+}
+
+// Clone returns a deep copy of the volatile state as a standalone MemFS
+// whose persisted state equals that volatile state. The matrix uses it to
+// answer "what if everything written had survived" without disturbing m.
+func (m *MemFS) Clone() *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := NewMemFS()
+	for name, f := range m.cur {
+		data := append([]byte(nil), f.data...)
+		c.cur[name] = &memFile{data: data, synced: append([]byte(nil), data...)}
+		c.pnames[name] = c.cur[name]
+	}
+	for d := range m.dirs {
+		c.dirs[d] = true
+		c.pdirs[d] = true
+	}
+	return c
+}
+
+// CloneExact returns a deep copy of m preserving the synced/unsynced
+// distinction (unlike Clone, which promotes everything to synced). File
+// identity across the two namespaces is preserved: a file reachable from
+// both the volatile and persisted namespace stays one object in the copy.
+func (m *MemFS) CloneExact() *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := &MemFS{
+		cur:    map[string]*memFile{},
+		dirs:   map[string]bool{},
+		pnames: map[string]*memFile{},
+		pdirs:  map[string]bool{},
+	}
+	copies := map[*memFile]*memFile{}
+	get := func(f *memFile) *memFile {
+		if n, ok := copies[f]; ok {
+			return n
+		}
+		n := &memFile{
+			data:   append([]byte(nil), f.data...),
+			synced: append([]byte(nil), f.synced...),
+		}
+		copies[f] = n
+		return n
+	}
+	for name, f := range m.cur {
+		c.cur[name] = get(f)
+	}
+	for name, f := range m.pnames {
+		c.pnames[name] = get(f)
+	}
+	for d := range m.dirs {
+		c.dirs[d] = true
+	}
+	for d := range m.pdirs {
+		c.pdirs[d] = true
+	}
+	return c
+}
+
+func (m *MemFS) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for d := path.Clean(dir); ; d = path.Dir(d) {
+		m.dirs[d] = true
+		if d == "/" || d == "." || d == path.Dir(d) {
+			break
+		}
+	}
+	return nil
+}
+
+func (m *MemFS) Create(name string) (WFile, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.dirs[path.Dir(name)] {
+		return nil, &fs.PathError{Op: "create", Path: name, Err: fs.ErrNotExist}
+	}
+	f := &memFile{}
+	m.cur[name] = f
+	return &memWFile{fs: m, f: f}, nil
+}
+
+func (m *MemFS) Open(name string) (RFile, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.cur[name]
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	// Snapshot the content: a reader holds the bytes it opened even if the
+	// file is later renamed over or crashed away (like an open fd).
+	return &memRFile{data: append([]byte(nil), f.data...)}, nil
+}
+
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.cur[oldname]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldname, Err: fs.ErrNotExist}
+	}
+	delete(m.cur, oldname)
+	m.cur[newname] = f
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.cur[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(m.cur, name)
+	return nil
+}
+
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.dirs[path.Clean(dir)] {
+		return nil, &fs.PathError{Op: "readdir", Path: dir, Err: fs.ErrNotExist}
+	}
+	var names []string
+	prefix := path.Clean(dir) + "/"
+	for name := range m.cur {
+		if strings.HasPrefix(name, prefix) && !strings.Contains(name[len(prefix):], "/") {
+			names = append(names, name[len(prefix):])
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SyncDir persists the namespace: every create/rename/remove performed so
+// far becomes crash-durable. (Single-directory granularity is all the
+// store needs; the whole namespace is persisted for simplicity.)
+func (m *MemFS) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.dirs[path.Clean(dir)] {
+		return &fs.PathError{Op: "syncdir", Path: dir, Err: fs.ErrNotExist}
+	}
+	m.pnames = make(map[string]*memFile, len(m.cur))
+	for name, f := range m.cur {
+		m.pnames[name] = f
+	}
+	m.pdirs = make(map[string]bool, len(m.dirs))
+	for d := range m.dirs {
+		m.pdirs[d] = true
+	}
+	return nil
+}
+
+type memWFile struct {
+	fs *MemFS
+	f  *memFile
+}
+
+func (w *memWFile) Write(p []byte) (int, error) {
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	w.f.data = append(w.f.data, p...)
+	return len(p), nil
+}
+
+// Sync persists the file's CONTENT (not its name — that takes SyncDir).
+func (w *memWFile) Sync() error {
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	w.f.synced = append(w.f.synced[:0], w.f.data...)
+	return nil
+}
+
+func (w *memWFile) Close() error { return nil }
+
+type memRFile struct {
+	data []byte
+}
+
+func (r *memRFile) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 || off > int64(len(r.data)) {
+		return 0, fmt.Errorf("memfs: read at %d beyond %d bytes", off, len(r.data))
+	}
+	n := copy(p, r.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (r *memRFile) Size() (int64, error) { return int64(len(r.data)), nil }
+func (r *memRFile) Close() error         { return nil }
+
+// ErrInjected is the error every injected fault surfaces as; the save path
+// must propagate it (wrapped or not) rather than panic or misreport.
+var ErrInjected = errors.New("snapstore: injected fault")
+
+// FaultFS wraps an FS and injects one fault at a chosen point in the
+// operation sequence, then fails every subsequent operation — modelling a
+// process that crashed or lost its disk mid-sequence. Costs are measured
+// in abstract units: one per byte written, one per metadata operation
+// (create/rename/remove/sync/syncdir), so a budget sweep over
+// [0, CostOf(sequence)) interrupts the write sequence at EVERY byte
+// boundary and at every metadata edge.
+//
+// Faults at a write boundary are SHORT writes: the prefix that fit within
+// the budget is applied before the error returns — a torn write, not a
+// clean refusal. Faults at a Sync are fsync failures: nothing additional
+// persists and the error returns. After the injected fault, Crashed
+// reports true and all operations fail with ErrInjected.
+type FaultFS struct {
+	inner FS
+
+	mu      sync.Mutex
+	budget  int64 // remaining units; -1 disables injection
+	crashed bool
+	cost    int64 // units consumed so far (CostOf)
+}
+
+// NewFaultFS wraps inner with injection disabled (budget -1).
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{inner: inner, budget: -1}
+}
+
+// Arm sets the fault budget: the wrapped FS will perform exactly budget
+// units of work and then fail. Resets the crashed state and cost counter.
+func (ff *FaultFS) Arm(budget int64) {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	ff.budget = budget
+	ff.crashed = false
+	ff.cost = 0
+}
+
+// Disarm disables injection (and clears the crashed state).
+func (ff *FaultFS) Disarm() {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	ff.budget = -1
+	ff.crashed = false
+}
+
+// Crashed reports whether the injected fault has fired.
+func (ff *FaultFS) Crashed() bool {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	return ff.crashed
+}
+
+// Cost returns the units consumed since the last Arm (with a budget of -1,
+// the full cost of the sequence — run once disarmed to size the sweep).
+func (ff *FaultFS) Cost() int64 {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	return ff.cost
+}
+
+// spend consumes up to want units. It returns how many units were granted
+// and whether the fault fired (granted < want, or a metadata op denied).
+func (ff *FaultFS) spend(want int64) (granted int64, failed bool) {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	if ff.crashed {
+		return 0, true
+	}
+	if ff.budget < 0 {
+		ff.cost += want
+		return want, false
+	}
+	if want <= ff.budget {
+		ff.budget -= want
+		ff.cost += want
+		return want, false
+	}
+	granted = ff.budget
+	ff.budget = 0
+	ff.cost += granted
+	ff.crashed = true
+	return granted, true
+}
+
+func (ff *FaultFS) metaOp() error {
+	if _, failed := ff.spend(1); failed {
+		return ErrInjected
+	}
+	return nil
+}
+
+func (ff *FaultFS) Create(name string) (WFile, error) {
+	if err := ff.metaOp(); err != nil {
+		return nil, err
+	}
+	w, err := ff.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultWFile{ff: ff, w: w}, nil
+}
+
+func (ff *FaultFS) Rename(oldname, newname string) error {
+	if err := ff.metaOp(); err != nil {
+		return err
+	}
+	return ff.inner.Rename(oldname, newname)
+}
+
+func (ff *FaultFS) Remove(name string) error {
+	if err := ff.metaOp(); err != nil {
+		return err
+	}
+	return ff.inner.Remove(name)
+}
+
+func (ff *FaultFS) SyncDir(dir string) error {
+	if err := ff.metaOp(); err != nil {
+		return err
+	}
+	return ff.inner.SyncDir(dir)
+}
+
+func (ff *FaultFS) MkdirAll(dir string) error {
+	if err := ff.metaOp(); err != nil {
+		return err
+	}
+	return ff.inner.MkdirAll(dir)
+}
+
+// Reads are never faulted: the matrix injects during the WRITE sequence
+// and recovery then runs against the surviving state through a clean FS.
+func (ff *FaultFS) Open(name string) (RFile, error)      { return ff.inner.Open(name) }
+func (ff *FaultFS) ReadDir(dir string) ([]string, error) { return ff.inner.ReadDir(dir) }
+
+type faultWFile struct {
+	ff *FaultFS
+	w  WFile
+}
+
+// Write spends one unit per byte; on exhaustion it applies the affordable
+// PREFIX to the underlying file and reports a short write — the torn-write
+// model (a clean failure that wrote nothing would never produce the torn
+// states recovery must survive).
+func (fw *faultWFile) Write(p []byte) (int, error) {
+	granted, failed := fw.ff.spend(int64(len(p)))
+	if granted > 0 {
+		if n, err := fw.w.Write(p[:granted]); err != nil {
+			return n, err
+		}
+	}
+	if failed {
+		return int(granted), fmt.Errorf("short write of %d/%d bytes: %w", granted, len(p), ErrInjected)
+	}
+	return len(p), nil
+}
+
+func (fw *faultWFile) Sync() error {
+	if err := fw.ff.metaOp(); err != nil {
+		return err // fsync failure: unsynced data stays volatile
+	}
+	return fw.w.Sync()
+}
+
+// Close is free (and never faulted): the matrix's crash points are the
+// durability-relevant edges; close-after-failure must always work so the
+// save path can clean up.
+func (fw *faultWFile) Close() error { return fw.w.Close() }

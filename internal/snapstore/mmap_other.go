@@ -1,0 +1,8 @@
+//go:build !unix
+
+package snapstore
+
+// Non-unix builds carry no Mapper implementation for OS files: Open takes
+// the portable read-into-aligned-buffer path instead. The zero-copy fast
+// path is a unix (mmap) optimization; the format and every guarantee are
+// identical either way.

@@ -1,0 +1,28 @@
+//go:build unix
+
+package snapstore
+
+import "syscall"
+
+// Map memory-maps the whole file read-only. The returned bytes alias the
+// page cache: opening a snapshot costs no read of the data sections until
+// they are touched, and writes through the mapping are impossible
+// (PROT_READ — the enforcement half of the read-only-mapping ownership
+// rule). The unmap function must be called exactly once, after which every
+// slice aliasing the mapping is invalid.
+func (r *osRFile) Map() ([]byte, func() error, error) {
+	size, err := r.Size()
+	if err != nil {
+		return nil, nil, err
+	}
+	if size == 0 {
+		// mmap of length 0 is an error; an empty file has nothing to map
+		// and fails footer validation anyway.
+		return nil, func() error { return nil }, nil
+	}
+	data, err := syscall.Mmap(int(r.f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,176 @@
+package snapstore
+
+import (
+	"fmt"
+	"io"
+	"unsafe"
+)
+
+// OpenOptions tune OpenFile/OpenLatest.
+type OpenOptions struct {
+	// SkipChecksum skips the per-section CRC32C verification, leaving only
+	// the O(1) structural checks (footer, header CRC, section geometry).
+	// The trusted-file fast path: open-to-first-query becomes O(1).
+	SkipChecksum bool
+	// NoMmap forces the portable read path even when the file supports
+	// memory mapping.
+	NoMmap bool
+}
+
+// File is an opened snapshot file: the parsed header plus the raw section
+// bytes, aliased directly from a read-only mapping (or from one aligned
+// buffer on the fallback path). Section slices are valid until Close.
+type File struct {
+	Header Header
+	data   []byte
+	unmap  func() error
+	mapped bool
+}
+
+// Section returns section i's raw bytes. The slice aliases the read-only
+// mapping: it must not be written, and it dies with Close.
+func (f *File) Section(i int) []byte {
+	s := f.Header.Sections[i]
+	return f.data[s.Off : s.Off+s.Len : s.Off+s.Len]
+}
+
+// Mapped reports whether the file is served by a memory mapping (as
+// opposed to a heap buffer read on the portable fallback path).
+func (f *File) Mapped() bool { return f.mapped }
+
+// Close releases the mapping. Every slice obtained from the File —
+// sections, the app header — is invalid afterwards.
+func (f *File) Close() error {
+	f.data = nil
+	if f.unmap != nil {
+		u := f.unmap
+		f.unmap = nil
+		return u()
+	}
+	return nil
+}
+
+// OpenFile opens and validates one snapshot file. Validation order is
+// torn-write detection first (footer, O(1)), then header structure (O(1)),
+// then — unless opt.SkipChecksum — per-section CRC32C. No per-item decode
+// happens on any path; the returned File's sections alias the mapping.
+//
+// Every rejection wraps ErrCorrupt; truncation-shaped rejections wrap
+// ErrTornWrite (which itself wraps ErrCorrupt).
+func OpenFile(fsys FS, path string, opt OpenOptions) (*File, error) {
+	rf, err := fsys.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := loadFile(rf, opt)
+	cerr := rf.Close()
+	if err != nil {
+		return nil, err
+	}
+	if cerr != nil {
+		f.Close()
+		return nil, cerr
+	}
+	return f, nil
+}
+
+func loadFile(rf RFile, opt OpenOptions) (*File, error) {
+	size, err := rf.Size()
+	if err != nil {
+		return nil, err
+	}
+	if size < headerSize+footerSize {
+		return nil, fmt.Errorf("%w: %d bytes is smaller than header+footer", ErrTornWrite, size)
+	}
+	f := &File{}
+	if m, ok := rf.(Mapper); ok && !opt.NoMmap {
+		data, unmap, err := m.Map()
+		if err != nil {
+			return nil, err
+		}
+		f.data, f.unmap, f.mapped = data, unmap, true
+	} else {
+		// Portable path: read the whole file into one buffer backed by a
+		// []uint64 so every 8-aligned file offset stays 8-aligned in memory
+		// (the aliasing requirement mmap gets for free from page alignment).
+		words := make([]uint64, (size+7)/8)
+		buf := unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(words))), size)
+		if _, err := rf.ReadAt(buf, 0); err != nil && err != io.EOF {
+			return nil, err
+		}
+		f.data = buf
+	}
+	if err := f.validate(uint64(size), opt); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+func (f *File) validate(size uint64, opt OpenOptions) error {
+	if uint64(len(f.data)) != size {
+		return fmt.Errorf("%w: mapping is %d bytes, file %d", ErrTornWrite, len(f.data), size)
+	}
+	footGen, err := decodeFooter(f.data[size-footerSize:], size)
+	if err != nil {
+		return err
+	}
+	hdr, err := decodeHeader(f.data[:headerSize], size)
+	if err != nil {
+		return err
+	}
+	if hdr.Gen != footGen {
+		return fmt.Errorf("%w: header generation %d != footer generation %d", ErrCorrupt, hdr.Gen, footGen)
+	}
+	f.Header = *hdr
+	if !opt.SkipChecksum {
+		for i := range hdr.Sections {
+			if got := crc(f.Section(i)); got != hdr.Sections[i].CRC {
+				return fmt.Errorf("%w: section %d checksum mismatch", ErrCorrupt, i)
+			}
+		}
+	}
+	return nil
+}
+
+// Words aliases an 8-aligned section as a []uint64 without copying. It is
+// the caller's job to only pass sections of a still-open File; the result
+// is read-only and dies with the File. On hosts whose native order is not
+// little-endian callers must use the decoded path instead (AliasingOK
+// reports which).
+func Words(section []byte) []uint64 {
+	if len(section) == 0 {
+		return nil
+	}
+	p := unsafe.SliceData(section)
+	if uintptr(unsafe.Pointer(p))%8 != 0 {
+		// Cannot happen for sections of a valid File (offsets are 8-aligned
+		// within an aligned mapping); guard anyway so a misuse is loud.
+		panic("snapstore: unaligned section")
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(p)), len(section)/8)
+}
+
+// Floats is Words for float64 payloads: it aliases an 8-aligned section as
+// a []float64 without copying, under the same rules.
+func Floats(section []byte) []float64 {
+	if len(section) == 0 {
+		return nil
+	}
+	p := unsafe.SliceData(section)
+	if uintptr(unsafe.Pointer(p))%8 != 0 {
+		panic("snapstore: unaligned section")
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(p)), len(section)/8)
+}
+
+// AliasingOK reports whether zero-copy section aliasing is sound on this
+// host: the format is little-endian, so a big-endian host must decode.
+func AliasingOK() bool { return hostLittleEndian }
+
+// hostLittleEndian is computed once: write a known 16-bit pattern and look
+// at its first byte.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()

@@ -1,0 +1,174 @@
+package snapstore
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Generation file naming: snap-<20-digit generation>.reqsnap, plus a .tmp
+// suffix while a generation is being written. Fixed-width digits make
+// lexical order equal numeric order.
+const (
+	genPrefix = "snap-"
+	genSuffix = ".reqsnap"
+	genDigits = 20
+	tmpSuffix = ".tmp"
+)
+
+// GenName returns the file name of generation gen.
+func GenName(gen uint64) string {
+	return fmt.Sprintf("%s%0*d%s", genPrefix, genDigits, gen, genSuffix)
+}
+
+// ParseGenName extracts the generation number from a snapshot file name.
+func ParseGenName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, genPrefix) || !strings.HasSuffix(name, genSuffix) {
+		return 0, false
+	}
+	digits := name[len(genPrefix) : len(name)-len(genSuffix)]
+	if len(digits) != genDigits {
+		return 0, false
+	}
+	gen, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return gen, true
+}
+
+// parentDir is path.Dir over slash paths; the package builds all its paths
+// with path.Join, so this holds on every platform (the OS accepts slash
+// separators everywhere Go runs).
+func parentDir(p string) string { return path.Dir(p) }
+
+// Store is a crash-safe snapshot directory: every Save writes a new,
+// monotonically numbered generation with the atomic sequence
+//
+//	write temp → fsync(file) → rename → fsync(dir)
+//
+// and prunes generations beyond Keep. OpenLatest recovers the newest valid
+// generation, skipping torn or corrupt files. A Store performs no
+// in-process locking: one writer at a time is the caller's contract (the
+// rotation itself is what makes concurrent READERS safe — an open
+// generation file is never modified, only eventually unlinked, and an
+// mmap'd unlinked file stays readable until closed).
+type Store struct {
+	fsys FS
+	dir  string
+	keep int
+}
+
+// DefaultKeep is how many generations a Store retains after a Save.
+const DefaultKeep = 2
+
+// NewStore returns a Store over dir on fsys (use OS for the real
+// filesystem). The directory is created on first Save.
+func NewStore(fsys FS, dir string) *Store {
+	return &Store{fsys: fsys, dir: dir, keep: DefaultKeep}
+}
+
+// SetKeep changes how many generations Save retains (minimum 1).
+func (st *Store) SetKeep(n int) {
+	if n < 1 {
+		n = 1
+	}
+	st.keep = n
+}
+
+// Dir returns the store's directory.
+func (st *Store) Dir() string { return st.dir }
+
+// PathFor returns the path of generation gen.
+func (st *Store) PathFor(gen uint64) string { return path.Join(st.dir, GenName(gen)) }
+
+// Generations returns the snapshot generations present in the directory
+// (by name; contents unvalidated), ascending. A missing directory is an
+// empty store, not an error.
+func (st *Store) Generations() ([]uint64, error) {
+	names, err := st.fsys.ReadDir(st.dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var gens []uint64
+	for _, name := range names {
+		if gen, ok := ParseGenName(name); ok {
+			gens = append(gens, gen)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+// Save durably writes p as the next generation and returns its number.
+// The write is atomic: a crash at any byte of the sequence leaves the
+// store serving either the previous generations or the new one, verified
+// by the crash matrix in faultfs_test.go. Pruning of old generations and
+// stale temp files happens only after the new generation is durable and is
+// best-effort (a failed prune never fails the Save).
+func (st *Store) Save(p *Payload) (uint64, error) {
+	if err := st.fsys.MkdirAll(st.dir); err != nil {
+		return 0, err
+	}
+	gens, err := st.Generations()
+	if err != nil {
+		return 0, err
+	}
+	gen := uint64(1)
+	if len(gens) > 0 {
+		gen = gens[len(gens)-1] + 1
+	}
+	if err := WriteSnapshotFile(st.fsys, st.PathFor(gen), gen, p); err != nil {
+		return 0, err
+	}
+	st.prune(gens)
+	return gen, nil
+}
+
+// prune removes generations beyond keep (counting the just-written one)
+// and stale temp files. Best-effort: errors are ignored — a leftover file
+// costs disk space, never correctness, and the next Save retries.
+func (st *Store) prune(prior []uint64) {
+	excess := len(prior) + 1 - st.keep
+	for i := 0; i < excess && i < len(prior); i++ {
+		st.fsys.Remove(st.PathFor(prior[i]))
+	}
+	if names, err := st.fsys.ReadDir(st.dir); err == nil {
+		for _, name := range names {
+			if strings.HasSuffix(name, tmpSuffix) {
+				st.fsys.Remove(path.Join(st.dir, name))
+			}
+		}
+	}
+	st.fsys.SyncDir(st.dir)
+}
+
+// OpenLatest opens the newest generation that passes validation, skipping
+// torn and corrupt files — the recovery scan. It returns ErrNoSnapshot for
+// an empty (or missing) store. When generations exist but every one is
+// rejected, the error wraps ErrCorrupt and details each rejection.
+func (st *Store) OpenLatest(opt OpenOptions) (*File, error) {
+	gens, err := st.Generations()
+	if err != nil {
+		return nil, err
+	}
+	if len(gens) == 0 {
+		return nil, fmt.Errorf("%w: in %s", ErrNoSnapshot, st.dir)
+	}
+	var rejections []error
+	for i := len(gens) - 1; i >= 0; i-- {
+		f, err := OpenFile(st.fsys, st.PathFor(gens[i]), opt)
+		if err == nil {
+			return f, nil
+		}
+		rejections = append(rejections, fmt.Errorf("generation %d: %w", gens[i], err))
+	}
+	return nil, fmt.Errorf("%w: every generation rejected: %w", ErrCorrupt, errors.Join(rejections...))
+}

@@ -1,0 +1,203 @@
+package snapstore
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestStoreSaveOpenLatest(t *testing.T) {
+	m := NewMemFS()
+	st := NewStore(m, "data/snaps")
+
+	if _, err := st.OpenLatest(OpenOptions{}); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("empty store: got %v, want ErrNoSnapshot", err)
+	}
+
+	p1 := testPayload(4, 1)
+	gen, err := st.Save(p1)
+	if err != nil || gen != 1 {
+		t.Fatalf("first save: gen=%d err=%v", gen, err)
+	}
+	f, err := st.OpenLatest(OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFileMatches(t, f, p1, 1)
+	f.Close()
+
+	p2 := testPayload(9, 2)
+	gen, err = st.Save(p2)
+	if err != nil || gen != 2 {
+		t.Fatalf("second save: gen=%d err=%v", gen, err)
+	}
+	f, err = st.OpenLatest(OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFileMatches(t, f, p2, 2)
+	f.Close()
+}
+
+func TestStorePruneKeep(t *testing.T) {
+	m := NewMemFS()
+	st := NewStore(m, "snaps")
+	st.SetKeep(2)
+	for i := 1; i <= 5; i++ {
+		if _, err := st.Save(testPayload(uint64(i), byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gens, err := st.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 2 || gens[0] != 4 || gens[1] != 5 {
+		t.Fatalf("after keep=2 rotation: generations %v", gens)
+	}
+
+	st.SetKeep(1)
+	if _, err := st.Save(testPayload(6, 6)); err != nil {
+		t.Fatal(err)
+	}
+	gens, _ = st.Generations()
+	if len(gens) != 1 || gens[0] != 6 {
+		t.Fatalf("after keep=1: generations %v", gens)
+	}
+}
+
+// TestStoreRecoverySkipsCorrupt: when the newest generation is damaged,
+// OpenLatest must fall back to the previous valid one.
+func TestStoreRecoverySkipsCorrupt(t *testing.T) {
+	m := NewMemFS()
+	st := NewStore(m, "snaps")
+	p1 := testPayload(4, 1)
+	p2 := testPayload(5, 2)
+	if _, err := st.Save(p1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(p2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate generation 2 mid-file (a torn write that somehow reached the
+	// final name — e.g. a pre-rename crash model without write barriers).
+	path2 := st.PathFor(2)
+	rf, err := m.Open(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, _ := rf.Size()
+	img := make([]byte, size/2)
+	rf.ReadAt(img, 0)
+	rf.Close()
+	m.Remove(path2)
+	w, _ := m.Create(path2)
+	w.Write(img)
+	w.Close()
+
+	f, err := st.OpenLatest(OpenOptions{})
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	assertFileMatches(t, f, p1, 1)
+	f.Close()
+
+	// Damage generation 1 too: now every generation is rejected and the
+	// error must wrap ErrCorrupt and mention both generations.
+	path1 := st.PathFor(1)
+	rf, _ = m.Open(path1)
+	size, _ = rf.Size()
+	full := make([]byte, size)
+	rf.ReadAt(full, 0)
+	rf.Close()
+	full[headerSize+1] ^= 0xFF
+	m.Remove(path1)
+	w, _ = m.Create(path1)
+	w.Write(full)
+	w.Close()
+
+	_, err = st.OpenLatest(OpenOptions{})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("all-corrupt store: got %v, want ErrCorrupt", err)
+	}
+	if errors.Is(err, ErrNoSnapshot) {
+		t.Fatal("all-corrupt store must not report ErrNoSnapshot")
+	}
+}
+
+// TestStoreIgnoresForeignFiles: stray files in the directory are not
+// generations and never break the scan.
+func TestStoreIgnoresForeignFiles(t *testing.T) {
+	m := NewMemFS()
+	st := NewStore(m, "snaps")
+	if _, err := st.Save(testPayload(3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"snaps/README", "snaps/snap-1.reqsnap", "snaps/x.tmp"} {
+		w, err := m.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Write([]byte("junk"))
+		w.Close()
+	}
+	gens, err := st.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 1 || gens[0] != 1 {
+		t.Fatalf("generations %v, want [1]", gens)
+	}
+	f, err := st.OpenLatest(OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// The next save prunes the stale temp file.
+	if _, err := st.Save(testPayload(4, 2)); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := m.ReadDir("snaps")
+	for _, n := range names {
+		if n == "x.tmp" {
+			t.Fatal("stale temp file survived a save")
+		}
+	}
+}
+
+// TestStoreOSFS exercises the real filesystem end: save, reopen (mmap on
+// unix), rotate, recover.
+func TestStoreOSFS(t *testing.T) {
+	dir := t.TempDir() + "/snaps"
+	st := NewStore(OS, dir)
+	p1 := testPayload(100, 1)
+	if _, err := st.Save(p1); err != nil {
+		t.Fatal(err)
+	}
+	p2 := testPayload(200, 2)
+	if _, err := st.Save(p2); err != nil {
+		t.Fatal(err)
+	}
+	f, err := st.OpenLatest(OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFileMatches(t, f, p2, 2)
+	if !f.Mapped() {
+		t.Log("note: file not memory-mapped on this platform (portable path)")
+	}
+	// Close after reading: mmap'd sections must stay valid until Close.
+	f.Close()
+
+	// NoMmap path over the same file must agree.
+	f, err = st.OpenLatest(OpenOptions{NoMmap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Mapped() {
+		t.Fatal("NoMmap open reports mapped")
+	}
+	assertFileMatches(t, f, p2, 2)
+	f.Close()
+}

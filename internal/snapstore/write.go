@@ -1,0 +1,75 @@
+package snapstore
+
+import "fmt"
+
+// zeros is the shared padding source for section alignment gaps.
+var zeros [secAlign]byte
+
+// writePayload writes one complete snapshot image to w — header page,
+// aligned sections, footer — and fsyncs it. It does NOT close w. The
+// sequence is strictly append-only so a crash at any byte leaves a
+// recognizable torn prefix: the footer, written last, only exists in a
+// complete file.
+func writePayload(w WFile, gen uint64, p *Payload) error {
+	offs, fileLen := layoutSections(sectionLens(p))
+	hdr, err := encodeHeader(p, gen, offs)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	pos := uint64(headerSize)
+	for i, sec := range p.Sections {
+		// offs[i] == pos by construction (layoutSections and this loop pad
+		// identically); the alignment gap precedes the next section.
+		if _, err := w.Write(sec); err != nil {
+			return fmt.Errorf("section %d: %w", i, err)
+		}
+		pos += uint64(len(sec))
+		if pad := alignUp(pos, secAlign) - pos; pad > 0 {
+			if _, err := w.Write(zeros[:pad]); err != nil {
+				return err
+			}
+			pos += pad
+		}
+	}
+	if _, err := w.Write(encodeFooter(gen, fileLen)); err != nil {
+		return err
+	}
+	return w.Sync()
+}
+
+func sectionLens(p *Payload) (lens [NumSections]uint64) {
+	for i := range p.Sections {
+		lens[i] = uint64(len(p.Sections[i]))
+	}
+	return lens
+}
+
+// WriteSnapshotFile atomically writes one snapshot file at path: the image
+// goes to path+".tmp", is fsynced, renamed over path, and the directory is
+// fsynced. A crash at any point leaves either the previous file (or no
+// file) or the complete new file — never a partial one under the final
+// name.
+func WriteSnapshotFile(fsys FS, path string, gen uint64, p *Payload) error {
+	tmp := path + tmpSuffix
+	w, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := writePayload(w, gen, p); err != nil {
+		w.Close()
+		fsys.Remove(tmp) // best effort; stale temps are also pruned by Store.Save
+		return err
+	}
+	if err := w.Close(); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	return fsys.SyncDir(parentDir(path))
+}

@@ -488,12 +488,13 @@ func (sn *Snapshot[T]) MarshalBinary() ([]byte, error) {
 	return marshalFrozen(sn.f, codec)
 }
 
-// marshalFrozen encodes a frozen coreset as a snapshot record.
-func marshalFrozen[T any](f *core.Frozen[T], codec itemCodec[T]) ([]byte, error) {
+// appendSnapshotHeader appends the snapshot-record header — the common
+// header (magic through n) followed by n0, min and max — shared by the
+// in-memory snapshot encoding (marshalFrozen) and the persisted slab
+// format's application header (persist.go). Keeping the two byte-identical
+// means one decoder (decodeSnapshotPrefix) serves both.
+func appendSnapshotHeader[T any](out []byte, f *core.Frozen[T], codec itemCodec[T]) []byte {
 	cfg := f.Config()
-	items := f.Items()
-	size := 4 + 2 + 4 + 8*3 + 4 + 8*3 + 8*2 + 4 + 10*len(items)
-	out := make([]byte, 0, size)
 	out = append(out, magic[:]...)
 	out = append(out, formatVersion, codec.tag, byte(cfg.Mode), byte(cfg.Schedule))
 	flags := byte(flagSnapshotRecord)
@@ -521,6 +522,48 @@ func marshalFrozen[T any](f *core.Frozen[T], codec itemCodec[T]) ([]byte, error)
 	out = binary.LittleEndian.AppendUint64(out, cfg.N0)
 	out = codec.put(out, mn)
 	out = codec.put(out, mx)
+	return out
+}
+
+// decodeSnapshotPrefix decodes what appendSnapshotHeader wrote: the common
+// header plus n0/min/max, with min/max validated when present. The cursor
+// is left at the first byte after the prefix.
+func decodeSnapshotPrefix[T any](r *reader, codec itemCodec[T]) (cfg core.Config, hasMinMax bool, n uint64, mn, mx T, err error) {
+	cfg, flags, n, err := decodeHeader(r, codec.tag, true)
+	if err != nil {
+		return cfg, false, 0, mn, mx, err
+	}
+	hasMinMax = flags&8 != 0
+	okAll := true
+	n0, okN0 := r.u64()
+	okAll = okAll && okN0
+	cfg.N0 = n0
+	getItem := func() T {
+		v, ok := codec.get(r)
+		okAll = okAll && ok
+		return v
+	}
+	mn = getItem()
+	mx = getItem()
+	if !okAll {
+		return cfg, false, 0, mn, mx, fmt.Errorf("%w: truncated snapshot header", ErrCorrupt)
+	}
+	if hasMinMax {
+		if err := codec.validate(mn); err != nil {
+			return cfg, false, 0, mn, mx, fmt.Errorf("%w: min: %v", ErrCorrupt, err)
+		}
+		if err := codec.validate(mx); err != nil {
+			return cfg, false, 0, mn, mx, fmt.Errorf("%w: max: %v", ErrCorrupt, err)
+		}
+	}
+	return cfg, hasMinMax, n, mn, mx, nil
+}
+
+// marshalFrozen encodes a frozen coreset as a snapshot record.
+func marshalFrozen[T any](f *core.Frozen[T], codec itemCodec[T]) ([]byte, error) {
+	items := f.Items()
+	size := 4 + 2 + 4 + 8*3 + 4 + 8*3 + 8*2 + 4 + 10*len(items)
+	out := appendSnapshotHeader(make([]byte, 0, size), f, codec)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(items)))
 	out = codec.putAll(out, items)
 	for i := range items {
@@ -533,26 +576,12 @@ func marshalFrozen[T any](f *core.Frozen[T], codec itemCodec[T]) ([]byte, error)
 // never panics on corrupt input; every rejection is wrapped in ErrCorrupt.
 func unmarshalFrozen[T any](data []byte, less func(a, b T) bool, codec itemCodec[T]) (*core.Frozen[T], error) {
 	r := reader{buf: data}
-	cfg, flags, n, err := decodeHeader(&r, codec.tag, true)
+	cfg, hasMinMax, n, mn, mx, err := decodeSnapshotPrefix(&r, codec)
 	if err != nil {
 		return nil, err
 	}
-	hasMinMax := flags&8 != 0
-
-	okAll := true
-	n0, okN0 := r.u64()
-	okAll = okAll && okN0
-	cfg.N0 = n0
-	getItem := func() T {
-		v, ok := codec.get(&r)
-		okAll = okAll && ok
-		return v
-	}
-	mn := getItem()
-	mx := getItem()
 	size, okSize := r.u32()
-	okAll = okAll && okSize
-	if !okAll {
+	if !okSize {
 		return nil, fmt.Errorf("%w: truncated snapshot header", ErrCorrupt)
 	}
 	// Items are fixed-width; weights are varints, so only a lower bound on
@@ -562,14 +591,6 @@ func unmarshalFrozen[T any](data []byte, less func(a, b T) bool, codec itemCodec
 	// gigabyte allocation.
 	if int(size) > maxDecodedCoresetItems || int64(r.remaining()) < int64(size)*9 {
 		return nil, fmt.Errorf("%w: coreset size %d does not match payload", ErrCorrupt, size)
-	}
-	if hasMinMax {
-		if err := codec.validate(mn); err != nil {
-			return nil, fmt.Errorf("%w: min: %v", ErrCorrupt, err)
-		}
-		if err := codec.validate(mx); err != nil {
-			return nil, fmt.Errorf("%w: max: %v", ErrCorrupt, err)
-		}
 	}
 	items := make([]T, size)
 	if !codec.getAll(&r, items) {
