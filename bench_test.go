@@ -670,7 +670,7 @@ func BenchmarkE6Mergeability(b *testing.B) {
 		perm := r.Perm(n)
 		var acc *core.Sketch[float64]
 		for s := 0; s < shards; s++ {
-			sk, _ := core.New(func(a, b float64) bool { return a < b },
+			sk, _ := core.New(core.LessF64,
 				core.Config{Eps: 0.05, Delta: 0.05, Seed: uint64(i*100 + s)})
 			for j := s; j < n; j += shards {
 				sk.Update(float64(perm[j]))

@@ -41,6 +41,7 @@ func main() {
 		list       = flag.Bool("list", false, "list available experiments and exit")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		multicore  = flag.Bool("multicore", false, "run the contention rig instead of the experiments; writes a JSON scaling report to stdout (or <out>/multicore.json with -out)")
 	)
 	flag.Parse()
 	memProfilePath = *memProfile
@@ -65,6 +66,32 @@ func main() {
 	}
 
 	cfg := harness.Config{Quick: *quick, Seed: *seed}
+
+	if *multicore {
+		var w io.Writer = os.Stdout
+		var f *os.File
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fatal(err)
+			}
+			var err error
+			f, err = os.Create(filepath.Join(*outDir, "multicore.json"))
+			if err != nil {
+				fatal(err)
+			}
+			w = f
+		}
+		err := harness.RunMulticore(w, cfg)
+		if f != nil {
+			f.Close()
+		}
+		if err != nil {
+			fatal(fmt.Errorf("multicore: %w", err))
+		}
+		writeMemProfile()
+		return
+	}
+
 	var experiments []harness.Experiment
 	if strings.EqualFold(*experiment, "all") {
 		experiments = harness.All()

@@ -227,6 +227,26 @@
 // that sketch is immutable from publication on. Own when the source keeps
 // writing; alias only when the source is provably frozen.
 //
+// # Hardware kernels
+//
+// The generic engine compares items through a less closure, which the
+// compiler can neither inline nor vectorize. Sketches built over the
+// canonical comparators core.LessF64 / core.LessU64 — which NewFloat64,
+// NewUint64, the concurrent wrappers, deserialization, and snapshot open
+// all use — install monomorphic kernels (internal/vec) for the hot inner
+// loops: sorting, merging, level rank counts, view repair, the k-way
+// merge, and the Eytzinger descents. On amd64, the order-insensitive
+// scans additionally dispatch to AVX2 assembly, chosen once at init by
+// CPUID probe; building with the purego tag opts out of all assembly.
+//
+// Kernels never change results. Order-sensitive kernels are
+// structure-identical transcriptions of the generic code, so equal and
+// NaN-incomparable elements land in the same permutation, and the
+// vectorized scans are permutation-invariant reductions; differential
+// tests pin bit-identical sketch state and answers against the closure
+// path, including NaN/±0/±Inf adversarial streams. A custom closure —
+// even one computing a < b — keeps the generic path, at closure speed.
+//
 // # Concurrency
 //
 // Plain sketches are not safe for concurrent use. Two thread-safe wrappers

@@ -14,9 +14,10 @@ type Float64 struct {
 }
 
 // NewFloat64 returns an empty float64 sketch configured by opts. Values
-// compare by the usual < order.
+// compare by the usual < order (the canonical core.LessF64, which activates
+// the monomorphic kernel layer — see "Hardware kernels" in doc.go).
 func NewFloat64(opts ...Option) (*Float64, error) {
-	s, err := New(func(a, b float64) bool { return a < b }, opts...)
+	s, err := New(core.LessF64, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -125,3 +125,81 @@ func TestAllocsBatchQueriesSortedProbes(t *testing.T) {
 		t.Fatalf("sorted-probe batch queries allocate %v allocs/op", avg)
 	}
 }
+
+// The kernel-dispatch pins: fless is the canonical LessF64, so warmSketch
+// builds kernel-active sketches and every pin above already proves the
+// kernel paths. The pins below cover the paths only the kernel layer adds
+// (whole-batch Eytzinger descent, cursor-slice k-way merge) and the closure
+// fallback, which must stay allocation-free for non-canonical orders.
+
+func TestAllocsKernelUnsortedBatchDescent(t *testing.T) {
+	s, vals := warmSketch(t, 1<<18, 7)
+	if s.kern == nil {
+		t.Fatal("warmSketch is expected to build a kernel-active sketch")
+	}
+	// Unsorted probes at ≥ interleaveMinBatch: RankBatch routes through the
+	// kernel whole-batch descent writing straight into dst.
+	probes := append([]float64(nil), vals[:64]...)
+	probes[0], probes[63] = probes[63], probes[0] // defeat both sorted checks
+	dst := make([]uint64, 0, len(probes))
+	s.Freeze()
+	if avg := testing.AllocsPerRun(500, func() {
+		dst = s.RankBatch(dst, probes)
+	}); avg != 0 {
+		t.Fatalf("kernel unsorted-batch descent allocates %v allocs/op", avg)
+	}
+}
+
+func TestAllocsKernelRebuildAfterWarm(t *testing.T) {
+	// The kernel k-way merge stages cursors on s.kwayCurs; after one rebuild
+	// has grown it, further full rebuilds must not allocate.
+	s, vals := warmSketch(t, 1<<18, 8)
+	if avg := testing.AllocsPerRun(200, func() {
+		s.markStructural()
+		_ = s.SortedView()
+		_ = vals
+	}); avg != 0 {
+		t.Fatalf("kernel full rebuild allocates %v allocs/op", avg)
+	}
+}
+
+func TestAllocsClosureFallbackSteadyState(t *testing.T) {
+	// A non-canonical order must keep the generic paths allocation-free:
+	// kernels are an overlay, not a rewrite of the steady-state contract.
+	s, err := New(func(a, b float64) bool { return a < b }, Config{Eps: 0.01, Delta: 0.01, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.kern != nil {
+		t.Fatal("non-canonical less unexpectedly activated kernels")
+	}
+	r := rng.New(10)
+	vals := make([]float64, 1<<16)
+	for i := range vals {
+		vals[i] = r.Float64()
+	}
+	for i := 0; i < 1<<18; i++ {
+		s.Update(vals[i&(1<<16-1)])
+	}
+	s.Freeze()
+	i := 0
+	if avg := testing.AllocsPerRun(2000, func() {
+		s.Update(vals[i&(1<<16-1)])
+		i++
+		s.Freeze()
+		_ = s.Rank(vals[i&1023])
+	}); avg != 0 {
+		t.Fatalf("closure-fallback write+freeze+rank cycle allocates %v allocs/op", avg)
+	}
+}
+
+func TestAllocsKernelUpdateBatch(t *testing.T) {
+	s, vals := warmSketch(t, 1<<18, 11)
+	i := 0
+	if avg := testing.AllocsPerRun(2000, func() {
+		s.UpdateBatch(vals[i&(1<<14-1) : (i&(1<<14-1))+128])
+		i += 128
+	}); avg != 0 {
+		t.Fatalf("kernel UpdateBatch allocates %v allocs/op", avg)
+	}
+}

@@ -1,0 +1,38 @@
+package core
+
+import "req/internal/vec"
+
+// kernelF64 is the float64 kernel table: internal/vec's generic kernels
+// stenciled at float64 (the compiler emits separate machine code with `<`
+// inlined for each Elem instantiation — effectively monomorphic), plus the
+// AVX2-dispatched count scans. Installed by New and the deserialization
+// constructors whenever the sketch's order is the canonical LessF64.
+var kernelF64 = kernelTable[float64]{
+	sortAsc:  vec.SortAsc[float64],
+	sortDesc: vec.SortDesc[float64],
+
+	mergeAsc:  vec.MergeIntoAsc[float64],
+	mergeDesc: vec.MergeIntoDesc[float64],
+
+	searchLE:    vec.SearchLE[float64],
+	searchLT:    vec.SearchLT[float64],
+	countLEDesc: vec.CountLEDesc[float64],
+	countLTDesc: vec.CountLTDesc[float64],
+
+	countLE: vec.CountLEF64,
+	countLT: vec.CountLTF64,
+
+	gallopLE:     vec.GallopLE[float64],
+	isSortedAsc:  vec.IsSortedAsc[float64],
+	isSortedDesc: vec.IsSortedDesc[float64],
+	minMax:       vec.MinMax[float64],
+	extendAsc:    vec.ExtendRunAsc[float64],
+	extendDesc:   vec.ExtendRunDesc[float64],
+
+	mergeTailCum: vec.MergeTailCum[float64],
+	kway:         vec.KWayMerge[float64],
+
+	eytRankLE:    vec.EytRankLE[float64],
+	eytRankGE:    vec.EytRankGE[float64],
+	eytRankBatch: vec.EytRankBatch[float64],
+}

@@ -81,7 +81,7 @@ func FrozenFromParts[T any](less func(a, b T) bool, cfg Config, n uint64, min, m
 		if hasMinMax {
 			return nil, errors.New("core: empty coreset carries min/max")
 		}
-		return &Frozen[T]{v: View[T]{less: less}, cfg: cfg}, nil
+		return &Frozen[T]{v: View[T]{less: less, kern: kernelFor(less)}, cfg: cfg}, nil
 	}
 	if ni == 0 {
 		return nil, errors.New("core: nonempty coreset has no items")
@@ -109,6 +109,7 @@ func FrozenFromParts[T any](less func(a, b T) bool, cfg Config, n uint64, min, m
 		items: p.Items[:ni:ni],
 		cum:   p.Cum[:ni:ni],
 		less:  less,
+		kern:  kernelFor(less),
 		n:     n,
 		min:   min,
 		max:   max,

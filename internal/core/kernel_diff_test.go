@@ -1,0 +1,378 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Differential suite for the kernel dispatch layer: a sketch built over the
+// canonical LessF64/LessU64 (kernel tables active) must stay bit-identical —
+// retained state and every query answer — to a sketch built over a
+// non-canonical closure with the same body (generic paths). The vec kernels
+// are transcriptions, not re-implementations, so any divergence here is a
+// transcription bug, including on adversarial inputs where several "correct"
+// answers exist (ties, ±0) and only structural identity pins one down.
+
+// nonCanonLessF64 compares identically to LessF64 but is a distinct
+// function, so kernelFor refuses it and the sketch runs the closure paths.
+func nonCanonLessF64(a, b float64) bool { return a < b }
+
+func nonCanonLessU64(a, b uint64) bool { return a < b }
+
+func TestKernelForDetection(t *testing.T) {
+	if kernelFor[float64](LessF64) == nil {
+		t.Fatal("canonical LessF64 did not activate the float64 kernel table")
+	}
+	if kernelFor[uint64](LessU64) == nil {
+		t.Fatal("canonical LessU64 did not activate the uint64 kernel table")
+	}
+	if kernelFor[float64](nonCanonLessF64) != nil {
+		t.Fatal("non-canonical float64 less must not activate kernels")
+	}
+	if kernelFor[uint64](nonCanonLessU64) != nil {
+		t.Fatal("non-canonical uint64 less must not activate kernels")
+	}
+	if kernelFor[string](func(a, b string) bool { return a < b }) != nil {
+		t.Fatal("unsupported element type must not activate kernels")
+	}
+}
+
+// diffStreamF64 draws a float64 stream with adversarial values mixed in.
+// NaN is excluded: raw core sketches assume a total order (the public
+// wrappers filter NaN), and NaN in a *sorted structure* has no defined
+// behaviour to be identical to. NaN handling of the scan kernels themselves
+// is covered by internal/vec's differential tests and the FilterNaN test.
+func diffStreamF64(r *rand.Rand, n int) []float64 {
+	special := []float64{math.Inf(1), math.Inf(-1), 0, math.Copysign(0, -1),
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64, 1, -1, 1e300, -1e300}
+	xs := make([]float64, n)
+	for i := range xs {
+		switch r.Intn(6) {
+		case 0:
+			xs[i] = special[r.Intn(len(special))]
+		case 1:
+			xs[i] = math.Round(r.NormFloat64() * 3) // heavy ties
+		default:
+			xs[i] = r.NormFloat64() * 1e3
+		}
+	}
+	return xs
+}
+
+func sketchStateEqualF64(t *testing.T, k, g *Sketch[float64]) {
+	t.Helper()
+	if k.n != g.n || k.bound != g.bound || k.retained != g.retained || len(k.levels) != len(g.levels) {
+		t.Fatalf("shape diverged: n %d/%d bound %d/%d retained %d/%d levels %d/%d",
+			k.n, g.n, k.bound, g.bound, k.retained, g.retained, len(k.levels), len(g.levels))
+	}
+	if math.Float64bits(k.min) != math.Float64bits(g.min) || math.Float64bits(k.max) != math.Float64bits(g.max) {
+		t.Fatalf("min/max diverged: (%v, %v) vs (%v, %v)", k.min, k.max, g.min, g.max)
+	}
+	for h := range k.levels {
+		kb, gb := k.levels[h].buf, g.levels[h].buf
+		if len(kb) != len(gb) {
+			t.Fatalf("level %d length diverged: %d vs %d", h, len(kb), len(gb))
+		}
+		for i := range kb {
+			if math.Float64bits(kb[i]) != math.Float64bits(gb[i]) {
+				t.Fatalf("level %d item %d diverged: %v vs %v (bits %x vs %x)",
+					h, i, kb[i], gb[i], math.Float64bits(kb[i]), math.Float64bits(gb[i]))
+			}
+		}
+		if k.levels[h].state != g.levels[h].state {
+			t.Fatalf("level %d schedule state diverged", h)
+		}
+	}
+}
+
+func queriesEqualF64(t *testing.T, k, g *Sketch[float64], probes []float64) {
+	t.Helper()
+	for _, y := range probes {
+		if a, b := k.Rank(y), g.Rank(y); a != b {
+			t.Fatalf("Rank(%v) diverged: %d vs %d", y, a, b)
+		}
+		if a, b := k.RankExclusive(y), g.RankExclusive(y); a != b {
+			t.Fatalf("RankExclusive(%v) diverged: %d vs %d", y, a, b)
+		}
+	}
+	kd := k.RankBatch(nil, probes)
+	gd := g.RankBatch(nil, probes)
+	for i := range kd {
+		if kd[i] != gd[i] {
+			t.Fatalf("RankBatch[%d] (probe %v) diverged: %d vs %d", i, probes[i], kd[i], gd[i])
+		}
+	}
+	if k.Count() > 0 {
+		phis := []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1}
+		kq, err := k.Quantiles(phis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gq, err := g.Quantiles(phis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range kq {
+			if math.Float64bits(kq[i]) != math.Float64bits(gq[i]) {
+				t.Fatalf("Quantile(%v) diverged: %v vs %v", phis[i], kq[i], gq[i])
+			}
+		}
+		splits := append([]float64(nil), probes...)
+		sortSlice(splits, LessF64)
+		kc, err := k.CDF(splits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gc, err := g.CDF(splits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range kc {
+			if kc[i] != gc[i] {
+				t.Fatalf("CDF[%d] diverged: %v vs %v", i, kc[i], gc[i])
+			}
+		}
+	}
+}
+
+func TestKernelDifferentialFloat64(t *testing.T) {
+	for _, hra := range []bool{false, true} {
+		name := "LRA"
+		if hra {
+			name = "HRA"
+		}
+		t.Run(name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(42))
+			cfg := Config{Eps: 0.05, Delta: 0.05, Seed: 99, HRA: hra}
+			k, err := New(LessF64, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if k.kern == nil {
+				t.Fatal("canonical sketch has no kernel table")
+			}
+			g, err := New(nonCanonLessF64, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.kern != nil {
+				t.Fatal("closure sketch unexpectedly has a kernel table")
+			}
+
+			stream := diffStreamF64(r, 60000)
+			// Interleave single updates, batches, queries (forcing view
+			// repair and rebuild), freezes, and merges.
+			i := 0
+			step := 0
+			for i < len(stream) {
+				switch step % 6 {
+				case 0, 1: // batch ingest
+					take := 1 + r.Intn(2000)
+					if i+take > len(stream) {
+						take = len(stream) - i
+					}
+					k.UpdateBatch(stream[i : i+take])
+					g.UpdateBatch(stream[i : i+take])
+					i += take
+				case 2: // single updates (exercise the tail-repair path)
+					take := 1 + r.Intn(50)
+					if i+take > len(stream) {
+						take = len(stream) - i
+					}
+					for _, x := range stream[i : i+take] {
+						k.Update(x)
+						g.Update(x)
+					}
+					i += take
+				case 3: // queries mid-stream (repair or rebuild the view)
+					probes := diffStreamF64(r, 64)
+					queriesEqualF64(t, k, g, probes)
+				case 4: // freeze (Eytzinger index paths)
+					k.Freeze()
+					g.Freeze()
+					probes := diffStreamF64(r, 100) // ≥ interleaveMinBatch: batch descent
+					queriesEqualF64(t, k, g, probes)
+				case 5: // merge a second pair in
+					ocfg := cfg
+					ocfg.Seed = 7
+					ok1, err := New(LessF64, ocfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					og, err := New(nonCanonLessF64, ocfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					side := diffStreamF64(r, 3000)
+					ok1.UpdateBatch(side)
+					og.UpdateBatch(side)
+					if err := k.Merge(ok1); err != nil {
+						t.Fatal(err)
+					}
+					if err := g.Merge(og); err != nil {
+						t.Fatal(err)
+					}
+				}
+				step++
+				sketchStateEqualF64(t, k, g)
+			}
+			sketchStateEqualF64(t, k, g)
+			queriesEqualF64(t, k, g, diffStreamF64(r, 256))
+
+			// Snapshot round-trip restores the kernel table and the state.
+			rk, err := FromSnapshot(LessF64, k.Snapshot())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rk.kern == nil {
+				t.Fatal("FromSnapshot dropped the kernel table")
+			}
+			sketchStateEqualF64(t, rk, g)
+
+			// Frozen snapshots answer identically too.
+			fk := k.FreezeOwned()
+			fg := g.FreezeOwned()
+			if fk.v.kern == nil {
+				t.Fatal("FreezeOwned dropped the kernel table")
+			}
+			probes := diffStreamF64(r, 128)
+			for _, y := range probes {
+				if a, b := fk.Rank(y), fg.Rank(y); a != b {
+					t.Fatalf("frozen Rank(%v) diverged: %d vs %d", y, a, b)
+				}
+			}
+		})
+	}
+}
+
+func TestKernelDifferentialUint64(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	cfg := Config{Eps: 0.05, Delta: 0.05, Seed: 5}
+	k, err := New(LessU64, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.kern == nil {
+		t.Fatal("canonical uint64 sketch has no kernel table")
+	}
+	g, err := New(nonCanonLessU64, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := make([]uint64, 40000)
+	for i := range stream {
+		switch r.Intn(5) {
+		case 0:
+			stream[i] = math.MaxUint64 - uint64(r.Intn(4))
+		case 1:
+			stream[i] = (uint64(1) << 63) + uint64(r.Intn(4)) - 2
+		case 2:
+			stream[i] = uint64(r.Intn(16)) // heavy ties
+		default:
+			stream[i] = r.Uint64()
+		}
+	}
+	for i := 0; i < len(stream); {
+		take := 1 + r.Intn(3000)
+		if i+take > len(stream) {
+			take = len(stream) - i
+		}
+		k.UpdateBatch(stream[i : i+take])
+		g.UpdateBatch(stream[i : i+take])
+		i += take
+
+		if k.n != g.n || k.retained != g.retained || len(k.levels) != len(g.levels) {
+			t.Fatalf("shape diverged at %d items", i)
+		}
+		for h := range k.levels {
+			kb, gb := k.levels[h].buf, g.levels[h].buf
+			if len(kb) != len(gb) {
+				t.Fatalf("level %d length diverged", h)
+			}
+			for j := range kb {
+				if kb[j] != gb[j] {
+					t.Fatalf("level %d item %d diverged: %d vs %d", h, j, kb[j], gb[j])
+				}
+			}
+		}
+	}
+	k.Freeze()
+	g.Freeze()
+	probes := make([]uint64, 200)
+	for i := range probes {
+		probes[i] = r.Uint64()
+	}
+	kd := k.RankBatch(nil, probes)
+	gd := g.RankBatch(nil, probes)
+	for i := range kd {
+		if kd[i] != gd[i] {
+			t.Fatalf("uint64 RankBatch[%d] diverged: %d vs %d", i, kd[i], gd[i])
+		}
+	}
+	for _, phi := range []float64{0, 0.1, 0.5, 0.9, 1} {
+		a, err := k.Quantile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := g.Quantile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("uint64 Quantile(%v) diverged: %d vs %d", phi, a, b)
+		}
+	}
+}
+
+// TestKernelViewRepairEquivalence drives the few-writes-between-queries
+// pattern hard: the kernel tail-repair (sortCaller + MergeTailCum) must
+// leave the view arrays bit-identical to the closure repair.
+func TestKernelViewRepairEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	cfg := Config{Eps: 0.1, Delta: 0.1, Seed: 3}
+	k, _ := New(LessF64, cfg)
+	g, _ := New(nonCanonLessF64, cfg)
+	for round := 0; round < 400; round++ {
+		m := 1 + r.Intn(5)
+		for j := 0; j < m; j++ {
+			x := math.Round(r.NormFloat64() * 10)
+			k.Update(x)
+			g.Update(x)
+		}
+		kv := k.SortedView()
+		gv := g.SortedView()
+		if len(kv.items) != len(gv.items) {
+			t.Fatalf("round %d: view size diverged: %d vs %d", round, len(kv.items), len(gv.items))
+		}
+		for i := range kv.items {
+			if math.Float64bits(kv.items[i]) != math.Float64bits(gv.items[i]) || kv.cum[i] != gv.cum[i] {
+				t.Fatalf("round %d: view entry %d diverged: (%v, %d) vs (%v, %d)",
+					round, i, kv.items[i], kv.cum[i], gv.items[i], gv.cum[i])
+			}
+		}
+	}
+}
+
+// TestFilterNaNKernel checks the HasNaN fast path preserves FilterNaN's
+// exact copy-only-when-dirty contract.
+func TestFilterNaNKernel(t *testing.T) {
+	clean := []float64{1, math.Inf(-1), 0, math.Copysign(0, -1), 5}
+	if got := FilterNaN(clean); &got[0] != &clean[0] {
+		t.Fatal("FilterNaN copied a clean slice")
+	}
+	dirty := []float64{1, math.NaN(), 2, math.NaN(), 3}
+	got := FilterNaN(dirty)
+	want := []float64{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("FilterNaN(%v) = %v", dirty, got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FilterNaN(%v) = %v", dirty, got)
+		}
+	}
+	if FilterNaN(nil) != nil {
+		t.Fatal("FilterNaN(nil) != nil")
+	}
+}

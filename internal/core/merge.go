@@ -147,9 +147,9 @@ func (s *Sketch[T]) Merge(other *Sketch[T]) error {
 			// done with it), so settling allocates nothing once the buffers
 			// have grown.
 			m.scratch = append(m.scratch[:0], add[sp:]...)
-			sortSlice(m.scratch, m.internalLess)
+			m.sortInternal(m.scratch)
 			m.mergeBuf = append(m.mergeBuf[:0], add[:sp]...)
-			m.mergeBuf = mergeSortedInto(m.mergeBuf, m.scratch, m.internalLess)
+			m.mergeBuf = m.mergeInternalInto(m.mergeBuf, m.scratch)
 			add = m.mergeBuf
 		}
 		// Widen the target window for the concatenation before merging; the
@@ -159,7 +159,7 @@ func (s *Sketch[T]) Merge(other *Sketch[T]) error {
 		m.store.ensure(m.levels, h, len(m.levels[h].buf)+len(add))
 		dst := &m.levels[h]
 		dst.state = schedule.Combine(dst.state, src.levels[h].state)
-		dst.buf = mergeSortedInto(dst.buf, add, m.internalLess)
+		dst.buf = m.mergeInternalInto(dst.buf, add)
 		dst.sorted = len(dst.buf)
 		m.retained += len(add)
 		if len(dst.buf) > m.stats.MaxBufferLen {

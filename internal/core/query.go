@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"math"
+
+	"req/internal/vec"
 )
 
 // Query errors returned by the estimation methods.
@@ -60,6 +62,15 @@ func (s *Sketch[T]) RankExclusive(y T) uint64 {
 //
 //req:noalloc
 func (s *Sketch[T]) levelCountLE(c *compactor[T], y T) int {
+	if k := s.kern; k != nil {
+		var cnt int
+		if s.cfg.HRA {
+			cnt = k.countLEDesc(c.buf[:c.sorted], y)
+		} else {
+			cnt = k.searchLE(c.buf[:c.sorted], y)
+		}
+		return cnt + k.countLE(c.buf[c.sorted:], y)
+	}
 	var cnt int
 	if s.cfg.HRA {
 		cnt = countLEDesc(c.buf[:c.sorted], y, s.less)
@@ -78,6 +89,15 @@ func (s *Sketch[T]) levelCountLE(c *compactor[T], y T) int {
 //
 //req:noalloc
 func (s *Sketch[T]) levelCountLT(c *compactor[T], y T) int {
+	if k := s.kern; k != nil {
+		var cnt int
+		if s.cfg.HRA {
+			cnt = k.countLTDesc(c.buf[:c.sorted], y)
+		} else {
+			cnt = k.searchLT(c.buf[:c.sorted], y)
+		}
+		return cnt + k.countLT(c.buf[c.sorted:], y)
+	}
 	var cnt int
 	if s.cfg.HRA {
 		cnt = countLTDesc(c.buf[:c.sorted], y, s.less)
@@ -203,10 +223,13 @@ type View[T any] struct {
 	items []T
 	cum   []uint64 // cum[i] = total weight of items[0..i]
 	less  func(a, b T) bool
-	n     uint64
-	min   T
-	max   T
-	idx   eytIndex[T] // optional branchless rank index; built by Freeze
+	// kern mirrors the owning sketch's kernel table (kernels.go); nil
+	// routes queries through the generic closures.
+	kern *kernelTable[T]
+	n    uint64
+	min  T
+	max  T
+	idx  eytIndex[T] // optional branchless rank index; built by Freeze
 }
 
 // Frozen reports whether the cached sorted view is materialized, i.e.
@@ -277,7 +300,7 @@ func (s *Sketch[T]) rebuildView() *View[T] {
 	}
 	v.items = resizeSlice(v.items, total)
 	v.cum = resizeSlice(v.cum, total)
-	v.less, v.n, v.min, v.max = s.less, s.n, s.min, s.max
+	v.less, v.kern, v.n, v.min, v.max = s.less, s.kern, s.n, s.min, s.max
 	v.idx.built = false
 	s.kwayMergeInto(v)
 	s.viewRevalidated()
@@ -303,44 +326,47 @@ func (s *Sketch[T]) repairTailView() *View[T] {
 	// buffer itself is ordered by the internal order and stays untouched
 	// until settled below).
 	s.scratch = append(s.scratch[:0], tail...)
-	sortSlice(s.scratch, s.less)
+	s.sortCaller(s.scratch)
 	old := len(v.items)
 	v.items = growSlice(v.items, old+m)
 	v.cum = growSlice(v.cum, old+m)
-	var run uint64
-	if old > 0 {
-		run = v.cum[old-1]
-	}
-	run += uint64(m)
-	i, j, k := old-1, m-1, old+m-1
-	for i >= 0 && j >= 0 {
-		if s.less(v.items[i], s.scratch[j]) {
+	if kn := s.kern; kn != nil {
+		kn.mergeTailCum(v.items, v.cum, s.scratch, old)
+	} else {
+		var run uint64
+		if old > 0 {
+			run = v.cum[old-1]
+		}
+		run += uint64(m)
+		i, j, k := old-1, m-1, old+m-1
+		for i >= 0 && j >= 0 {
+			if s.less(v.items[i], s.scratch[j]) {
+				v.items[k] = s.scratch[j]
+				v.cum[k] = run
+				run--
+				j--
+			} else {
+				w := v.cum[i]
+				if i > 0 {
+					w -= v.cum[i-1]
+				}
+				v.items[k] = v.items[i]
+				v.cum[k] = run
+				run -= w
+				i--
+			}
+			k--
+		}
+		for j >= 0 {
 			v.items[k] = s.scratch[j]
 			v.cum[k] = run
 			run--
 			j--
-		} else {
-			w := v.cum[i]
-			if i > 0 {
-				w -= v.cum[i-1]
-			}
-			v.items[k] = v.items[i]
-			v.cum[k] = run
-			run -= w
-			i--
+			k--
 		}
-		k--
+		// items[0..i] and their cumulative weights are untouched: every new
+		// item merged in above them, so their prefix sums are unchanged.
 	}
-	for j >= 0 {
-		v.items[k] = s.scratch[j]
-		v.cum[k] = run
-		run--
-		j--
-		k--
-	}
-	// items[0..i] and their cumulative weights are untouched: every new item
-	// merged in above them, so their prefix sums are unchanged.
-	//
 	// Settle level 0 so the sketch state matches the full-rebuild path (which
 	// settles every level); this must follow the merge above because
 	// settleLevel claims s.scratch.
@@ -414,6 +440,31 @@ const maxSketchLevels = 64
 // cursors walk windows of the sketch's contiguous slab (levels[h].buf are
 // slab aliases), so the whole merge streams one allocation front to back.
 func (s *Sketch[T]) kwayMergeInto(v *View[T]) {
+	if kn := s.kern; kn != nil {
+		// The kernel path stages cursors on a reusable heap slice: a slice
+		// handed through the indirect kernel call escapes, so a stack array
+		// here would allocate per rebuild — s.kwayCurs amortizes that to one
+		// grow-only allocation.
+		s.kwayCurs = s.kwayCurs[:0]
+		for h := range s.levels {
+			b := s.levels[h].buf
+			if len(b) == 0 {
+				continue
+			}
+			cur := vec.KWayCursor[T]{Buf: b, W: uint64(1) << uint(h)}
+			if s.cfg.HRA {
+				cur.Pos, cur.End, cur.Step = len(b)-1, -1, -1
+			} else {
+				cur.Pos, cur.End, cur.Step = 0, len(b), 1
+			}
+			s.kwayCurs = append(s.kwayCurs, cur)
+		}
+		kn.kway(s.kwayCurs, v.items, v.cum)
+		// Scrub the slab aliases so the scratch never keeps level buffers
+		// reachable past the merge.
+		clear(s.kwayCurs)
+		return
+	}
 	var cursArr [maxSketchLevels]viewCursor[T]
 	curs := cursArr[:0]
 	for h := range s.levels {
@@ -498,6 +549,20 @@ func (v *View[T]) CumulativeWeights() []uint64 { return v.cum }
 //
 //req:noalloc
 func (v *View[T]) Rank(y T) uint64 {
+	if kn := v.kern; kn != nil {
+		if v.idx.built {
+			k := kn.eytRankLE(v.idx.items, y)
+			if k == 0 {
+				return v.idx.total // every element ≤ y
+			}
+			return v.idx.before[k]
+		}
+		i := kn.searchLE(v.items, y)
+		if i == 0 {
+			return 0
+		}
+		return v.cum[i-1]
+	}
 	if v.idx.built {
 		return v.idx.rank(y, v.less)
 	}
@@ -512,6 +577,20 @@ func (v *View[T]) Rank(y T) uint64 {
 //
 //req:noalloc
 func (v *View[T]) RankExclusive(y T) uint64 {
+	if kn := v.kern; kn != nil {
+		if v.idx.built {
+			k := kn.eytRankGE(v.idx.items, y)
+			if k == 0 {
+				return v.idx.total // every element < y
+			}
+			return v.idx.before[k]
+		}
+		i := kn.searchLT(v.items, y)
+		if i == 0 {
+			return 0
+		}
+		return v.cum[i-1]
+	}
 	if v.idx.built {
 		return v.idx.rankExclusive(y, v.less)
 	}
@@ -531,6 +610,15 @@ func (v *View[T]) RankExclusive(y T) uint64 {
 // beyond dst.
 func (v *View[T]) RankBatch(dst []uint64, ys []T) []uint64 {
 	dst = resizeSlice(dst, len(ys))
+	if kn := v.kern; kn != nil && v.idx.built && len(ys) >= interleaveMinBatch &&
+		!kn.isSortedAsc(ys) && !kn.isSortedDesc(ys) {
+		// The kernel whole-batch descent replicates rankSweep's routing for
+		// the large-unsorted-batch case (sorted batches still sweep — the
+		// gallop beats lockstep descents there) and writes straight into dst,
+		// so no per-probe emit closure survives.
+		kn.eytRankBatch(v.idx.items, v.idx.before, v.idx.total, ys, dst)
+		return dst
+	}
 	v.rankSweep(ys, func(qi int, rank uint64) {
 		dst[qi] = rank
 	})
@@ -583,18 +671,39 @@ func (v *View[T]) rankSweep(ys []T, emit func(qi int, rank uint64)) {
 		}
 		return v.cum[pos-1]
 	}
-	if isSorted(ys, v.less) {
+	// advance is the forward gallop, monomorphic when the kernel table is
+	// installed; the routing below is identical either way.
+	kn := v.kern
+	advance := func(pos int, y T) int {
+		if kn != nil {
+			return kn.gallopLE(v.items, pos, y)
+		}
+		return gallopLE(v.items, pos, y, v.less)
+	}
+	sortedAsc := false
+	if kn != nil {
+		sortedAsc = kn.isSortedAsc(ys)
+	} else {
+		sortedAsc = isSorted(ys, v.less)
+	}
+	if sortedAsc {
 		pos := 0
 		for qi, y := range ys {
-			pos = gallopLE(v.items, pos, y, v.less)
+			pos = advance(pos, y)
 			emit(qi, rankAt(pos))
 		}
 		return
 	}
-	if isSortedDesc(ys, v.less) {
+	sortedDesc := false
+	if kn != nil {
+		sortedDesc = kn.isSortedDesc(ys)
+	} else {
+		sortedDesc = isSortedDesc(ys, v.less)
+	}
+	if sortedDesc {
 		pos := 0
 		for qi := len(ys) - 1; qi >= 0; qi-- {
-			pos = gallopLE(v.items, pos, ys[qi], v.less)
+			pos = advance(pos, ys[qi])
 			emit(qi, rankAt(pos))
 		}
 		return
@@ -610,7 +719,7 @@ func (v *View[T]) rankSweep(ys []T, emit func(qi int, rank uint64)) {
 	sortSlice(pairs, func(a, b probePair[T]) bool { return v.less(a.y, b.y) })
 	pos := 0
 	for i := range pairs {
-		pos = gallopLE(v.items, pos, pairs[i].y, v.less)
+		pos = advance(pos, pairs[i].y)
 		emit(pairs[i].qi, rankAt(pos))
 	}
 }
@@ -704,12 +813,23 @@ func (v *View[T]) CDFInto(dst []float64, splits []T) ([]float64, error) {
 	dst = resizeSlice(dst, len(splits)+1)
 	nf := float64(v.n)
 	pos := 0
-	for i, sp := range splits {
-		pos = gallopLE(v.items, pos, sp, v.less)
-		if pos == 0 {
-			dst[i] = 0
-		} else {
-			dst[i] = float64(v.cum[pos-1]) / nf
+	if kn := v.kern; kn != nil {
+		for i, sp := range splits {
+			pos = kn.gallopLE(v.items, pos, sp)
+			if pos == 0 {
+				dst[i] = 0
+			} else {
+				dst[i] = float64(v.cum[pos-1]) / nf
+			}
+		}
+	} else {
+		for i, sp := range splits {
+			pos = gallopLE(v.items, pos, sp, v.less)
+			if pos == 0 {
+				dst[i] = 0
+			} else {
+				dst[i] = float64(v.cum[pos-1]) / nf
+			}
 		}
 	}
 	dst[len(splits)] = 1

@@ -75,13 +75,13 @@ func (s *Sketch[T]) settleLevel(h int) {
 		return
 	}
 	tail := c.buf[c.sorted:]
-	sortSlice(tail, s.internalLess)
+	s.sortInternal(tail)
 	if c.sorted == 0 {
 		c.sorted = len(c.buf)
 		return
 	}
 	s.scratch = append(s.scratch[:0], tail...)
-	c.buf = mergeSortedInto(c.buf[:c.sorted], s.scratch, s.internalLess)
+	c.buf = s.mergeInternalInto(c.buf[:c.sorted], s.scratch)
 	c.sorted = len(c.buf)
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"req/internal/rng"
 	"req/internal/schedule"
+	"req/internal/vec"
 )
 
 // compactor is one relative-compactor (Algorithm 1): a buffer at level h of
@@ -40,6 +41,10 @@ type compactor[T any] struct {
 // use. Construct it with New.
 type Sketch[T any] struct {
 	less func(a, b T) bool // the caller's order; queries use this
+	// kern is the monomorphic kernel table when less is the canonical
+	// natural order for a supported element type (see kernels.go); nil
+	// routes every hot loop through the generic closures.
+	kern *kernelTable[T]
 	cfg  Config
 	rnd  *rng.Source
 
@@ -78,6 +83,11 @@ type Sketch[T any] struct {
 	// mergeBuf stages settled copies of merge-source levels (Merge step 4),
 	// reused across merges so settling allocates only on growth.
 	mergeBuf []T
+	// kwayCurs is the kernel k-way merge's reusable cursor array (the
+	// generic path keeps a stack array; a slice handed to an indirect
+	// kernel call would escape, so the kernel path amortizes one
+	// allocation across rebuilds instead).
+	kwayCurs []vec.KWayCursor[T]
 	// stage is a reusable deep-copy target for merge sources that need a
 	// special compaction (Merge step 3), replacing a per-merge Clone.
 	stage *Sketch[T]
@@ -107,6 +117,7 @@ func New[T any](less func(a, b T) bool, cfg Config) (*Sketch[T], error) {
 	}
 	s := &Sketch[T]{
 		less: less,
+		kern: kernelFor(less),
 		cfg:  cfg,
 		rnd:  rng.New(cfg.Seed),
 	}
@@ -210,11 +221,15 @@ func (s *Sketch[T]) UpdateBatch(xs []T) {
 		s.hasMinMax = true
 	}
 	mn, mx := s.min, s.max
-	for _, x := range xs {
-		if s.less(x, mn) {
-			mn = x
-		} else if s.less(mx, x) {
-			mx = x
+	if k := s.kern; k != nil {
+		mn, mx = k.minMax(xs, mn, mx)
+	} else {
+		for _, x := range xs {
+			if s.less(x, mn) {
+				mn = x
+			} else if s.less(mx, x) {
+				mx = x
+			}
 		}
 	}
 	s.min, s.max = mn, mx
@@ -243,9 +258,17 @@ func (s *Sketch[T]) UpdateBatch(xs []T) {
 		if wasSorted {
 			// Extend the sorted prefix while the chunk continues it, so
 			// ascending batches stay settle-free.
-			for lv.sorted < len(lv.buf) &&
-				(lv.sorted == 0 || !s.internalLess(lv.buf[lv.sorted], lv.buf[lv.sorted-1])) {
-				lv.sorted++
+			if k := s.kern; k != nil {
+				if s.cfg.HRA {
+					lv.sorted = k.extendDesc(lv.buf, lv.sorted)
+				} else {
+					lv.sorted = k.extendAsc(lv.buf, lv.sorted)
+				}
+			} else {
+				for lv.sorted < len(lv.buf) &&
+					(lv.sorted == 0 || !s.internalLess(lv.buf[lv.sorted], lv.buf[lv.sorted-1])) {
+					lv.sorted++
+				}
 			}
 		}
 		s.n += uint64(take)
@@ -411,7 +434,7 @@ func (s *Sketch[T]) emitHalf(h, keep int) {
 	// merge then appends strictly within the slab.
 	s.store.ensure(s.levels, h+1, len(s.levels[h+1].buf)+len(s.scratch))
 	next := &s.levels[h+1]
-	next.buf = mergeSortedInto(next.buf, s.scratch, s.internalLess)
+	next.buf = s.mergeInternalInto(next.buf, s.scratch)
 	next.sorted = len(next.buf)
 	s.retained += len(s.scratch)
 	if len(next.buf) > s.stats.MaxBufferLen {
@@ -486,6 +509,7 @@ func (s *Sketch[T]) Clone() *Sketch[T] {
 	c.viewDirty, c.viewStructural, c.viewL0Len = 0, false, 0
 	c.scratch = nil
 	c.mergeBuf = nil
+	c.kwayCurs = nil
 	c.stage = nil
 	return &c
 }
@@ -502,6 +526,7 @@ func (s *Sketch[T]) CopyFrom(src *Sketch[T]) {
 		return
 	}
 	s.less = src.less
+	s.kern = src.kern
 	s.cfg = src.cfg
 	if s.rnd == nil {
 		s.rnd = rng.New(0)

@@ -95,6 +95,7 @@ func FromSnapshot[T any](less func(a, b T) bool, snap Snapshot[T]) (*Sketch[T], 
 	}
 	s := &Sketch[T]{
 		less:      less,
+		kern:      kernelFor(less),
 		cfg:       cfg,
 		rnd:       rng.New(cfg.Seed),
 		n:         snap.N,

@@ -8,7 +8,10 @@ import (
 	"req/internal/rng"
 )
 
-func fless(a, b float64) bool { return a < b }
+// fless is the canonical order, so every core test exercises the sketch
+// with the monomorphic kernel layer active (the generic closure paths are
+// covered separately by the kernel differential suite).
+var fless = LessF64
 
 func TestSortSliceMatchesStdlib(t *testing.T) {
 	f := func(xs []float64) bool {

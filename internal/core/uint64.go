@@ -1,0 +1,34 @@
+package core
+
+import "req/internal/vec"
+
+// kernelU64 is the uint64 kernel table; see kernelF64.
+var kernelU64 = kernelTable[uint64]{
+	sortAsc:  vec.SortAsc[uint64],
+	sortDesc: vec.SortDesc[uint64],
+
+	mergeAsc:  vec.MergeIntoAsc[uint64],
+	mergeDesc: vec.MergeIntoDesc[uint64],
+
+	searchLE:    vec.SearchLE[uint64],
+	searchLT:    vec.SearchLT[uint64],
+	countLEDesc: vec.CountLEDesc[uint64],
+	countLTDesc: vec.CountLTDesc[uint64],
+
+	countLE: vec.CountLEU64,
+	countLT: vec.CountLTU64,
+
+	gallopLE:     vec.GallopLE[uint64],
+	isSortedAsc:  vec.IsSortedAsc[uint64],
+	isSortedDesc: vec.IsSortedDesc[uint64],
+	minMax:       vec.MinMax[uint64],
+	extendAsc:    vec.ExtendRunAsc[uint64],
+	extendDesc:   vec.ExtendRunDesc[uint64],
+
+	mergeTailCum: vec.MergeTailCum[uint64],
+	kway:         vec.KWayMerge[uint64],
+
+	eytRankLE:    vec.EytRankLE[uint64],
+	eytRankGE:    vec.EytRankGE[uint64],
+	eytRankBatch: vec.EytRankBatch[uint64],
+}

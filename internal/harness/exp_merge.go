@@ -34,7 +34,7 @@ type mergeStrategy struct {
 func newREQ(cfg core.Config, seed uint64) *core.Sketch[float64] {
 	c := cfg
 	c.Seed = seed
-	s, err := core.New(func(a, b float64) bool { return a < b }, c)
+	s, err := core.New(core.LessF64, c)
 	if err != nil {
 		panic(err)
 	}

@@ -30,7 +30,7 @@ func runE16(w io.Writer, cfg Config) error {
 		n = 1 << 16
 		reps = 3
 	}
-	s, err := core.New(func(a, b float64) bool { return a < b },
+	s, err := core.New(core.LessF64,
 		core.Config{Eps: 0.01, Delta: 0.01, Seed: cfg.Seed + 16})
 	if err != nil {
 		return err

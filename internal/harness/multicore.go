@@ -1,0 +1,326 @@
+package harness
+
+// The contention rig: a machine-readable scaling report for the Sharded
+// ingest path and the epoch-snapshot rebuild under concurrent writers,
+// plus a padded-vs-packed false-sharing A/B on the shard-header layout.
+//
+// Unlike the E-series experiments this writes JSON, not a table: the rig
+// exists to be diffed across hosts and commits (MULTICORE_pr8.json records
+// one run), and scaling curves are exactly the kind of result that goes
+// stale silently when trapped in prose. The report is honest about its
+// host: it records runtime.NumCPU(), and every sweep point where
+// GOMAXPROCS exceeds the physical CPU count is marked oversubscribed —
+// on such points the numbers measure scheduler interleaving (lock
+// hand-off behaviour, snapshot staleness under preemption), not parallel
+// speedup. Both are worth pinning: a sharded design that collapses when
+// oversubscribed is broken in a different way than one that does not
+// scale.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	req "req"
+	"req/internal/rng"
+	"req/internal/vec"
+)
+
+// MulticoreReport is the machine-readable output of RunMulticore.
+type MulticoreReport struct {
+	// Host facts: scaling numbers are meaningless without them.
+	CPUs      int    `json:"cpus"`
+	GoVersion string `json:"go_version"`
+	GOARCH    string `json:"goarch"`
+	Accel     string `json:"accel"` // active vec kernel tier ("avx2" or "portable")
+	Quick     bool   `json:"quick"`
+	Note      string `json:"note"`
+
+	Ingest       []IngestPoint       `json:"ingest"`
+	Snapshot     []SnapshotPoint     `json:"snapshot"`
+	FalseSharing []FalseSharingPoint `json:"false_sharing"`
+}
+
+// IngestPoint is one cell of the GOMAXPROCS × shards ingest sweep:
+// Writers goroutines (one per proc) hammer Sharded.Update concurrently.
+type IngestPoint struct {
+	Procs          int     `json:"procs"`
+	Shards         int     `json:"shards"`
+	Writers        int     `json:"writers"`
+	Ops            int     `json:"ops"`
+	Seconds        float64 `json:"seconds"`
+	OpsPerSec      float64 `json:"ops_per_sec"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	Oversubscribed bool    `json:"oversubscribed"`
+}
+
+// SnapshotPoint measures the epoch-snapshot path under live writers: each
+// query finds the published snapshot stale (writers never stop), so query
+// latency is dominated by the clone-and-merge rebuild. The quantiles are
+// over per-query wall times.
+type SnapshotPoint struct {
+	Procs          int     `json:"procs"`
+	Shards         int     `json:"shards"`
+	Writers        int     `json:"writers"`
+	Rebuilds       int     `json:"rebuilds"`
+	P50Micros      float64 `json:"p50_us"`
+	P99Micros      float64 `json:"p99_us"`
+	MaxMicros      float64 `json:"max_us"`
+	Oversubscribed bool    `json:"oversubscribed"`
+}
+
+// FalseSharingPoint is one arm of the padded-vs-packed A/B: per-goroutine
+// atomic counters mimicking the shard header (version + count mirrors),
+// either padded out to separate cache lines — the layout shardOf uses —
+// or packed adjacent. On a multicore host the packed arm pays cross-core
+// cache-line ping-pong; on one CPU the arms tie, and recording that tie
+// is the point — it proves the rig measures the layout, not noise.
+type FalseSharingPoint struct {
+	Variant   string  `json:"variant"` // "padded" or "packed"
+	Procs     int     `json:"procs"`
+	Ops       int     `json:"ops"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// RunMulticore executes the sweep and writes the report as indented JSON.
+// It restores GOMAXPROCS before returning.
+func RunMulticore(w io.Writer, cfg Config) error {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	rep := MulticoreReport{
+		CPUs:      runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		Accel:     vec.Accel(),
+		Quick:     cfg.Quick,
+		Note: "points with procs > cpus are oversubscribed: they measure lock hand-off " +
+			"and snapshot staleness under scheduler interleaving, not parallel speedup",
+	}
+
+	procSweep := []int{1, 2, 4}
+	shardSweep := []int{1, 2, 4, 8}
+	opsPerWriter := 150_000
+	snapDur := 400 * time.Millisecond
+	fsOps := 2_000_000
+	if cfg.Quick {
+		procSweep = []int{1, 2}
+		shardSweep = []int{1, 4}
+		opsPerWriter = 10_000
+		snapDur = 40 * time.Millisecond
+		fsOps = 100_000
+	}
+
+	for _, procs := range procSweep {
+		for _, shards := range shardSweep {
+			pt, err := multicoreIngest(procs, shards, opsPerWriter, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			pt.Oversubscribed = procs > rep.CPUs
+			rep.Ingest = append(rep.Ingest, pt)
+		}
+	}
+
+	for _, procs := range procSweep {
+		for _, shards := range []int{1, shardSweep[len(shardSweep)-1]} {
+			pt, err := multicoreSnapshot(procs, shards, snapDur, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			pt.Oversubscribed = procs > rep.CPUs
+			rep.Snapshot = append(rep.Snapshot, pt)
+		}
+	}
+
+	for _, procs := range procSweep {
+		rep.FalseSharing = append(rep.FalseSharing,
+			falseSharingArm("padded", procs, fsOps),
+			falseSharingArm("packed", procs, fsOps),
+		)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&rep)
+}
+
+// multicoreIngest times procs writers pushing opsPerWriter updates each
+// into a Sharded sketch with the given stripe count. A closed-channel
+// barrier starts all writers at once so the measured window has full
+// concurrency from the first update.
+func multicoreIngest(procs, shards, opsPerWriter int, seed uint64) (IngestPoint, error) {
+	runtime.GOMAXPROCS(procs)
+	s, err := req.NewShardedFloat64(
+		req.WithShards(shards), req.WithEpsilon(0.01), req.WithSeed(seed),
+	)
+	if err != nil {
+		return IngestPoint{}, err
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for wtr := 0; wtr < procs; wtr++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := rng.New(seed + uint64(id)*0x9E3779B9)
+			<-start
+			for i := 0; i < opsPerWriter; i++ {
+				s.Update(r.Float64())
+			}
+		}(wtr)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	sec := time.Since(t0).Seconds()
+	ops := procs * opsPerWriter
+	return IngestPoint{
+		Procs: procs, Shards: s.NumShards(), Writers: procs,
+		Ops: ops, Seconds: sec,
+		OpsPerSec: float64(ops) / sec,
+		NsPerOp:   sec * 1e9 / float64(ops),
+	}, nil
+}
+
+// multicoreSnapshot runs writers continuously for dur while one reader
+// calls Quantile in a loop. Every write bumps its shard version, so each
+// query observes a stale snapshot and pays a full epoch rebuild — this is
+// the worst case for the epoch design, and exactly the path whose latency
+// a dashboard scraping a live sketch experiences.
+func multicoreSnapshot(procs, shards int, dur time.Duration, seed uint64) (SnapshotPoint, error) {
+	runtime.GOMAXPROCS(procs)
+	s, err := req.NewShardedFloat64(
+		req.WithShards(shards), req.WithEpsilon(0.01), req.WithSeed(seed),
+	)
+	if err != nil {
+		return SnapshotPoint{}, err
+	}
+	// Prepopulate so rebuilds merge real coresets, not near-empty buffers.
+	r := rng.New(seed + 77)
+	for i := 0; i < 1<<17; i++ {
+		s.Update(r.Float64())
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for wtr := 0; wtr < procs; wtr++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			wr := rng.New(seed + 1000 + uint64(id))
+			for !stop.Load() {
+				s.Update(wr.Float64())
+			}
+		}(wtr)
+	}
+
+	var lat []time.Duration
+	deadline := time.Now().Add(dur)
+	for time.Now().Before(deadline) {
+		t0 := time.Now()
+		if _, err := s.Quantile(0.5); err != nil {
+			stop.Store(true)
+			wg.Wait()
+			return SnapshotPoint{}, err
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	q := func(p float64) float64 {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lat)-1))
+		return float64(lat[i]) / float64(time.Microsecond)
+	}
+	return SnapshotPoint{
+		Procs: procs, Shards: s.NumShards(), Writers: procs,
+		Rebuilds:  len(lat),
+		P50Micros: q(0.50), P99Micros: q(0.99), MaxMicros: q(1.0),
+	}, nil
+}
+
+// The A/B mimics the shardOf header: two hot atomics per stripe. The
+// padded layout matches shardOf (headers on distinct cache lines); the
+// packed layout is what shardOf would be without its trailing padding.
+
+type paddedStripe struct {
+	version atomic.Uint64
+	count   atomic.Uint64
+	_       [48]byte // pad the 16 hot bytes out to a full 64-byte line
+}
+
+type packedStripe struct {
+	version atomic.Uint64
+	count   atomic.Uint64
+}
+
+func falseSharingArm(variant string, procs, totalOps int) FalseSharingPoint {
+	runtime.GOMAXPROCS(procs)
+	opsPer := totalOps / procs
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+
+	var elapsed time.Duration
+	switch variant {
+	case "padded":
+		stripes := make([]paddedStripe, procs)
+		for g := 0; g < procs; g++ {
+			wg.Add(1)
+			go func(st *paddedStripe) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < opsPer; i++ {
+					st.version.Add(1)
+					st.count.Add(1)
+				}
+			}(&stripes[g])
+		}
+		t0 := time.Now()
+		close(start)
+		wg.Wait()
+		elapsed = time.Since(t0)
+	default:
+		stripes := make([]packedStripe, procs)
+		for g := 0; g < procs; g++ {
+			wg.Add(1)
+			go func(st *packedStripe) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < opsPer; i++ {
+					st.version.Add(1)
+					st.count.Add(1)
+				}
+			}(&stripes[g])
+		}
+		t0 := time.Now()
+		close(start)
+		wg.Wait()
+		elapsed = time.Since(t0)
+	}
+
+	ops := opsPer * procs
+	sec := elapsed.Seconds()
+	return FalseSharingPoint{
+		Variant: variant, Procs: procs, Ops: ops,
+		NsPerOp:   sec * 1e9 / float64(ops),
+		OpsPerSec: float64(ops) / sec,
+	}
+}
+
+// String renders a one-line human summary (used by the CLI after the JSON
+// lands in a file, so a terminal run is not silent).
+func (r *MulticoreReport) String() string {
+	return fmt.Sprintf("multicore rig: %d ingest points, %d snapshot points, %d false-sharing arms on %d CPU(s), accel=%s",
+		len(r.Ingest), len(r.Snapshot), len(r.FalseSharing), r.CPUs, r.Accel)
+}

@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+// TestMulticoreQuick keeps the rig from bit-rotting: a quick run must
+// produce a decodable report whose sweep covers every promised axis.
+func TestMulticoreQuick(t *testing.T) {
+	prevProcs := runtime.GOMAXPROCS(0)
+	var buf bytes.Buffer
+	if err := RunMulticore(&buf, Config{Quick: true, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var rep MulticoreReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.CPUs != runtime.NumCPU() {
+		t.Errorf("cpus = %d, want %d", rep.CPUs, runtime.NumCPU())
+	}
+	if rep.Accel == "" {
+		t.Error("accel tier missing from report")
+	}
+	if len(rep.Ingest) != 4 { // quick: procs {1,2} × shards {1,4}
+		t.Errorf("ingest points = %d, want 4", len(rep.Ingest))
+	}
+	for _, pt := range rep.Ingest {
+		if pt.OpsPerSec <= 0 || pt.Ops <= 0 {
+			t.Errorf("degenerate ingest point: %+v", pt)
+		}
+		if want := pt.Procs > runtime.NumCPU(); pt.Oversubscribed != want {
+			t.Errorf("ingest point procs=%d oversubscribed=%v, want %v", pt.Procs, pt.Oversubscribed, want)
+		}
+	}
+	if len(rep.Snapshot) != 4 { // quick: procs {1,2} × shards {1,4}
+		t.Errorf("snapshot points = %d, want 4", len(rep.Snapshot))
+	}
+	for _, pt := range rep.Snapshot {
+		if pt.Rebuilds <= 0 {
+			t.Errorf("snapshot point measured no rebuilds: %+v", pt)
+		}
+		if pt.P99Micros < pt.P50Micros || pt.MaxMicros < pt.P99Micros {
+			t.Errorf("latency quantiles out of order: %+v", pt)
+		}
+	}
+	if len(rep.FalseSharing) != 4 { // quick: procs {1,2} × {padded, packed}
+		t.Errorf("false-sharing arms = %d, want 4", len(rep.FalseSharing))
+	}
+	seen := map[string]bool{}
+	for _, pt := range rep.FalseSharing {
+		seen[pt.Variant] = true
+		if pt.NsPerOp <= 0 {
+			t.Errorf("degenerate false-sharing arm: %+v", pt)
+		}
+	}
+	if !seen["padded"] || !seen["packed"] {
+		t.Errorf("A/B missing an arm: %v", seen)
+	}
+	// GOMAXPROCS must be restored — the rig mutates it per point.
+	if got := runtime.GOMAXPROCS(0); got != prevProcs {
+		t.Errorf("GOMAXPROCS left at %d, want %d", got, prevProcs)
+	}
+}

@@ -77,7 +77,7 @@ func NewREQ(cfg core.Config, label string) (*REQ, error) {
 	if label == "" {
 		label = "req"
 	}
-	s, err := core.New(func(a, b float64) bool { return a < b }, cfg)
+	s, err := core.New(core.LessF64, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,187 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// AVX2 count scans: 4 float64/uint64 lanes per YMM step, compare → movmsk →
+// popcount. Callers guarantee len(xs) is a multiple of 4.
+//
+// NaN contract (f64): VCMPPD's unordered-quiet predicates are the exact
+// vector duals of Go's scalar comparisons —
+//   NLT_UQ ($0x15): true iff !(a < b), true on unordered  == !(y < x)
+//   LT_OQ  ($0x11): true iff a < b, false on unordered    == x < y
+// so the masks count precisely the elements the scalar scan counts,
+// including NaN elements and NaN probes.
+//
+// uint64 contract: AVX2 has no unsigned 64-bit compare, so both operands
+// are biased by XOR 1<<63 and compared with the signed VPCMPGTQ — the
+// standard order-preserving unsigned→signed mapping.
+
+// func countLEF64Asm(xs []float64, y float64) int
+TEXT ·countLEF64Asm(SB), NOSPLIT, $0-40
+	MOVQ         xs_base+0(FP), SI
+	MOVQ         xs_len+8(FP), CX
+	VBROADCASTSD y+24(FP), Y0
+	XORQ         AX, AX
+	XORQ         DX, DX
+	MOVQ         CX, BX
+	ANDQ         $-8, BX
+	JMP          le64test
+
+le64loop:
+	VMOVUPD   (SI)(DX*8), Y1
+	VMOVUPD   32(SI)(DX*8), Y2
+	VCMPPD    $0x15, Y1, Y0, Y1 // !(y < x), 4 lanes
+	VCMPPD    $0x15, Y2, Y0, Y2
+	VMOVMSKPD Y1, R8
+	VMOVMSKPD Y2, R9
+	POPCNTQ   R8, R8
+	POPCNTQ   R9, R9
+	ADDQ      R8, AX
+	ADDQ      R9, AX
+	ADDQ      $8, DX
+
+le64test:
+	CMPQ DX, BX
+	JLT  le64loop
+	CMPQ DX, CX
+	JGE  le64done
+
+	// one trailing 4-lane block (len is a multiple of 4)
+	VMOVUPD   (SI)(DX*8), Y1
+	VCMPPD    $0x15, Y1, Y0, Y1
+	VMOVMSKPD Y1, R8
+	POPCNTQ   R8, R8
+	ADDQ      R8, AX
+
+le64done:
+	VZEROUPPER
+	MOVQ AX, ret+32(FP)
+	RET
+
+// func countLTF64Asm(xs []float64, y float64) int
+TEXT ·countLTF64Asm(SB), NOSPLIT, $0-40
+	MOVQ         xs_base+0(FP), SI
+	MOVQ         xs_len+8(FP), CX
+	VBROADCASTSD y+24(FP), Y0
+	XORQ         AX, AX
+	XORQ         DX, DX
+	MOVQ         CX, BX
+	ANDQ         $-8, BX
+	JMP          lt64test
+
+lt64loop:
+	VMOVUPD   (SI)(DX*8), Y1
+	VMOVUPD   32(SI)(DX*8), Y2
+	VCMPPD    $0x11, Y0, Y1, Y1 // x < y, 4 lanes
+	VCMPPD    $0x11, Y0, Y2, Y2
+	VMOVMSKPD Y1, R8
+	VMOVMSKPD Y2, R9
+	POPCNTQ   R8, R8
+	POPCNTQ   R9, R9
+	ADDQ      R8, AX
+	ADDQ      R9, AX
+	ADDQ      $8, DX
+
+lt64test:
+	CMPQ DX, BX
+	JLT  lt64loop
+	CMPQ DX, CX
+	JGE  lt64done
+
+	VMOVUPD   (SI)(DX*8), Y1
+	VCMPPD    $0x11, Y0, Y1, Y1
+	VMOVMSKPD Y1, R8
+	POPCNTQ   R8, R8
+	ADDQ      R8, AX
+
+lt64done:
+	VZEROUPPER
+	MOVQ AX, ret+32(FP)
+	RET
+
+// func countLEU64Asm(xs []uint64, y uint64) int
+TEXT ·countLEU64Asm(SB), NOSPLIT, $0-40
+	MOVQ         xs_base+0(FP), SI
+	MOVQ         xs_len+8(FP), CX
+	MOVQ         $0x8000000000000000, R10
+	MOVQ         R10, X3
+	VPBROADCASTQ X3, Y3
+	VPBROADCASTQ y+24(FP), Y0
+	VPXOR        Y3, Y0, Y0 // y, sign-biased
+	XORQ         AX, AX     // running count of x > y
+	XORQ         DX, DX
+	JMP          leu64test
+
+leu64loop:
+	VMOVDQU   (SI)(DX*8), Y1
+	VPXOR     Y3, Y1, Y1 // x, sign-biased
+	VPCMPGTQ  Y0, Y1, Y2 // x > y (signed on biased = unsigned)
+	VMOVMSKPD Y2, R8
+	POPCNTQ   R8, R8
+	ADDQ      R8, AX
+	ADDQ      $4, DX
+
+leu64test:
+	CMPQ DX, CX
+	JLT  leu64loop
+	VZEROUPPER
+	MOVQ CX, BX
+	SUBQ AX, BX // count(x ≤ y) = len − count(x > y)
+	MOVQ BX, ret+32(FP)
+	RET
+
+// func countLTU64Asm(xs []uint64, y uint64) int
+TEXT ·countLTU64Asm(SB), NOSPLIT, $0-40
+	MOVQ         xs_base+0(FP), SI
+	MOVQ         xs_len+8(FP), CX
+	MOVQ         $0x8000000000000000, R10
+	MOVQ         R10, X3
+	VPBROADCASTQ X3, Y3
+	VPBROADCASTQ y+24(FP), Y0
+	VPXOR        Y3, Y0, Y0
+	XORQ         AX, AX
+	XORQ         DX, DX
+	JMP          ltu64test
+
+ltu64loop:
+	VMOVDQU   (SI)(DX*8), Y1
+	VPXOR     Y3, Y1, Y1
+	VPCMPGTQ  Y1, Y0, Y2 // y > x  ⇔  x < y
+	VMOVMSKPD Y2, R8
+	POPCNTQ   R8, R8
+	ADDQ      R8, AX
+	ADDQ      $4, DX
+
+ltu64test:
+	CMPQ DX, CX
+	JLT  ltu64loop
+	VZEROUPPER
+	MOVQ AX, ret+32(FP)
+	RET
+
+// func hasNaNAsm(xs []float64) bool
+TEXT ·hasNaNAsm(SB), NOSPLIT, $0-25
+	MOVQ xs_base+0(FP), SI
+	MOVQ xs_len+8(FP), CX
+	XORQ DX, DX
+	JMP  nantest
+
+nanloop:
+	VMOVUPD   (SI)(DX*8), Y1
+	VCMPPD    $0x03, Y1, Y1, Y2 // UNORD_Q: x unordered with itself ⇔ NaN
+	VMOVMSKPD Y2, R8
+	TESTQ     R8, R8
+	JNZ       nanfound
+	ADDQ      $4, DX
+
+nantest:
+	CMPQ DX, CX
+	JLT  nanloop
+	VZEROUPPER
+	MOVB $0, ret+24(FP)
+	RET
+
+nanfound:
+	VZEROUPPER
+	MOVB $1, ret+24(FP)
+	RET

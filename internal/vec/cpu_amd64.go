@@ -1,0 +1,39 @@
+//go:build amd64 && !purego
+
+package vec
+
+// CPUID-based feature detection for the AVX2 dispatch. x/sys/cpu is not
+// vendored, so the two leaf reads are hand-rolled in cpu_amd64.s; the checks
+// follow the Intel SDM procedure for safely using YMM state:
+//
+//  1. CPUID.1:ECX — OSXSAVE (bit 27) proves XGETBV is usable and the OS
+//     opted into XSAVE; AVX (bit 28) and POPCNT (bit 23) for the kernels.
+//  2. XGETBV(XCR0) bits 1..2 — the OS actually saves/restores XMM+YMM
+//     state across context switches.
+//  3. CPUID.(7,0):EBX bit 5 — AVX2 itself.
+
+// cpuid executes CPUID with the given EAX/ECX inputs (cpu_amd64.s).
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0 (cpu_amd64.s); only valid once OSXSAVE is confirmed.
+func xgetbv() (eax, edx uint32)
+
+// hasAVX2 reports whether the AVX2 count kernels are safe to dispatch.
+func hasAVX2() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsave, avx, popcnt = 1 << 27, 1 << 28, 1 << 23
+	if ecx1&osxsave == 0 || ecx1&avx == 0 || ecx1&popcnt == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv()
+	if xcr0&6 != 6 { // XMM (bit 1) and YMM (bit 2) state enabled
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}

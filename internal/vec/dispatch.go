@@ -1,0 +1,54 @@
+package vec
+
+// CPU dispatch for the kernels with assembly variants. The vars default to
+// the portable generic instantiations; on amd64 without the purego tag, an
+// init in dispatch_amd64.go swaps in the AVX2 versions when CPUID reports
+// the required features. Package initialization order guarantees every
+// importer (internal/core's kernel tables included) observes the final
+// values: vec's init runs before any importing package's.
+//
+// Only the order-insensitive linear scans are dispatched — they are the
+// kernels whose vector semantics provably match Go's scalar comparisons
+// (see the package comment). Everything else is portable-only by design.
+
+var (
+	countLEF64 func([]float64, float64) int = scanCountLE[float64]
+	countLTF64 func([]float64, float64) int = scanCountLT[float64]
+	countLEU64 func([]uint64, uint64) int   = scanCountLE[uint64]
+	countLTU64 func([]uint64, uint64) int   = scanCountLT[uint64]
+	hasNaN     func([]float64) bool         = hasNaNPortable
+
+	// accelName names the live implementation tier for reports and docs.
+	accelName = "portable"
+)
+
+// CountLEF64 counts elements x of xs with !(y < x) — the inclusive-rank
+// scan predicate (NaN elements count; a NaN probe counts everything).
+//
+//req:noalloc
+func CountLEF64(xs []float64, y float64) int { return countLEF64(xs, y) }
+
+// CountLTF64 counts elements x of xs with x < y.
+//
+//req:noalloc
+func CountLTF64(xs []float64, y float64) int { return countLTF64(xs, y) }
+
+// CountLEU64 counts elements x of xs with x ≤ y.
+//
+//req:noalloc
+func CountLEU64(xs []uint64, y uint64) int { return countLEU64(xs, y) }
+
+// CountLTU64 counts elements x of xs with x < y.
+//
+//req:noalloc
+func CountLTU64(xs []uint64, y uint64) int { return countLTU64(xs, y) }
+
+// HasNaN reports whether xs contains a NaN.
+//
+//req:noalloc
+func HasNaN(xs []float64) bool { return hasNaN(xs) }
+
+// Accel returns the live acceleration tier: "avx2" when the assembly
+// kernels are dispatched, "portable" otherwise (non-amd64, the purego build
+// tag, or missing CPU features).
+func Accel() string { return accelName }

@@ -1,0 +1,93 @@
+//go:build amd64 && !purego
+
+package vec
+
+// AVX2 dispatch: the assembly kernels process 4 lanes (one YMM register) per
+// step over an even multiple of 4 elements; the Go wrappers run the scalar
+// portable predicate over the sub-4 remainder. Counts of independent
+// per-element predicates are permutation-invariant, so splitting the slice
+// this way is bit-identical to the all-scalar scan on every input, NaN
+// included (the VCMPPD predicates are the unordered-quiet duals of Go's `<`;
+// see avx2_amd64.s).
+
+func init() {
+	if hasAVX2() {
+		countLEF64 = countLEF64AVX2
+		countLTF64 = countLTF64AVX2
+		countLEU64 = countLEU64AVX2
+		countLTU64 = countLTU64AVX2
+		hasNaN = hasNaNAVX2
+		accelName = "avx2"
+	}
+}
+
+//req:noalloc
+func countLEF64AVX2(xs []float64, y float64) int {
+	n := len(xs) &^ 3
+	c := countLEF64Asm(xs[:n], y)
+	for _, x := range xs[n:] {
+		c += b2i(!(y < x))
+	}
+	return c
+}
+
+//req:noalloc
+func countLTF64AVX2(xs []float64, y float64) int {
+	n := len(xs) &^ 3
+	c := countLTF64Asm(xs[:n], y)
+	for _, x := range xs[n:] {
+		c += b2i(x < y)
+	}
+	return c
+}
+
+//req:noalloc
+func countLEU64AVX2(xs []uint64, y uint64) int {
+	n := len(xs) &^ 3
+	c := countLEU64Asm(xs[:n], y)
+	for _, x := range xs[n:] {
+		c += b2i(!(y < x))
+	}
+	return c
+}
+
+//req:noalloc
+func countLTU64AVX2(xs []uint64, y uint64) int {
+	n := len(xs) &^ 3
+	c := countLTU64Asm(xs[:n], y)
+	for _, x := range xs[n:] {
+		c += b2i(x < y)
+	}
+	return c
+}
+
+//req:noalloc
+func hasNaNAVX2(xs []float64) bool {
+	n := len(xs) &^ 3
+	if hasNaNAsm(xs[:n]) {
+		return true
+	}
+	for _, x := range xs[n:] {
+		if x != x {
+			return true
+		}
+	}
+	return false
+}
+
+// Assembly kernels (avx2_amd64.s); len(xs) must be a multiple of 4.
+
+//req:noalloc
+func countLEF64Asm(xs []float64, y float64) int
+
+//req:noalloc
+func countLTF64Asm(xs []float64, y float64) int
+
+//req:noalloc
+func countLEU64Asm(xs []uint64, y uint64) int
+
+//req:noalloc
+func countLTU64Asm(xs []uint64, y uint64) int
+
+//req:noalloc
+func hasNaNAsm(xs []float64) bool

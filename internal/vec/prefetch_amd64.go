@@ -1,0 +1,21 @@
+//go:build amd64 && !purego
+
+package vec
+
+import "unsafe"
+
+// prefetchIndex hints the cache hierarchy to pull xs[i] toward L1. The
+// caller bounds i; the hint itself cannot fault (PREFETCHT0 is a no-op on
+// bad addresses) but the &xs[i] below must stay in range for Go.
+//
+//req:noalloc
+func prefetchIndex[E Elem](xs []E, i int) {
+	prefetchPtr(unsafe.Pointer(&xs[i]))
+}
+
+// prefetchPtr issues PREFETCHT0 on p (prefetch_amd64.s). PREFETCHT0 is
+// baseline amd64 (SSE), so it needs no feature gate — only the purego
+// escape hatch disables it.
+//
+//req:noalloc
+func prefetchPtr(p unsafe.Pointer)

@@ -1,0 +1,9 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func prefetchPtr(p unsafe.Pointer)
+TEXT ·prefetchPtr(SB), NOSPLIT, $0-8
+	MOVQ p+0(FP), AX
+	PREFETCHT0 (AX)
+	RET

@@ -1,0 +1,12 @@
+//go:build !amd64 || purego
+
+package vec
+
+// prefetchIndex is a no-op without the amd64 assembly: portable builds rely
+// on the hardware prefetchers alone.
+//
+//req:noalloc
+func prefetchIndex[E Elem](xs []E, i int) {
+	_ = xs
+	_ = i
+}

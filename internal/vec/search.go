@@ -1,0 +1,132 @@
+package vec
+
+// Binary and galloping searches, structure-identical to internal/core's
+// generic versions with less specialised to `<` (ascending) or its reversal
+// (the descending storage order of HRA sketches). See the package comment
+// for why the probe sequences must match the generic code exactly.
+
+// SearchLE returns the number of elements in ascending-sorted xs that are
+// ≤ y: the index of the first element strictly greater than y.
+//
+//req:noalloc
+func SearchLE[E Elem](xs []E, y E) int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if y < xs[mid] { // xs[mid] > y
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// SearchLT returns the number of elements in ascending-sorted xs strictly
+// less than y.
+//
+//req:noalloc
+func SearchLT[E Elem](xs []E, y E) int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if xs[mid] < y {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// CountLEDesc returns the number of elements ≤ y in xs sorted descending
+// (the storage order of HRA sketches).
+//
+//req:noalloc
+func CountLEDesc[E Elem](xs []E, y E) int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if y < xs[mid] { // xs[mid] > y: boundary is right of mid
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return len(xs) - lo
+}
+
+// CountLTDesc returns the number of elements strictly less than y in xs
+// sorted descending.
+//
+//req:noalloc
+func CountLTDesc[E Elem](xs []E, y E) int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if !(xs[mid] < y) { // xs[mid] ≥ y: boundary is right of mid
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return len(xs) - lo
+}
+
+// GallopLE returns the index of the first element > y in ascending-sorted
+// xs, starting the search at from (every element before from must already be
+// ≤ y). Exponential probing followed by a binary search keeps the cost
+// O(log(gap)) in the distance advanced.
+//
+//req:noalloc
+func GallopLE[E Elem](xs []E, from int, y E) int {
+	n := len(xs)
+	if from >= n || y < xs[from] {
+		return from
+	}
+	lo, hi := from, n // xs[lo] ≤ y; hi is first candidate known > y (or n)
+	for step := 1; lo+step < n; step <<= 1 {
+		if y < xs[lo+step] {
+			hi = lo + step
+			break
+		}
+		lo += step
+	}
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if y < xs[mid] {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// GallopCumGE returns the index of the first entry ≥ target in the
+// non-decreasing cumulative-weight array, starting at from; see GallopLE.
+//
+//req:noalloc
+func GallopCumGE(cum []uint64, from int, target uint64) int {
+	n := len(cum)
+	if from >= n || cum[from] >= target {
+		return from
+	}
+	lo, hi := from, n // cum[lo] < target
+	for step := 1; lo+step < n; step <<= 1 {
+		if cum[lo+step] >= target {
+			hi = lo + step
+			break
+		}
+		lo += step
+	}
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cum[mid] >= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}

@@ -1,0 +1,230 @@
+package vec
+
+// In-place introsort, a structure-identical transcription of internal/core's
+// generic sortSlice (quicksort with a median-of-three Hoare partition,
+// insertion sort below the same threshold, heapsort past the same 2·⌊log₂ n⌋
+// depth budget) specialised to `<` and its reversal. Identical structure —
+// not merely an equivalent sort — is what guarantees the identical
+// permutation of equal (and NaN-incomparable) elements; see the package
+// comment.
+
+const insertionThreshold = 12
+
+// SortAsc sorts xs ascending under `<`.
+//
+//req:noalloc
+func SortAsc[E Elem](xs []E) {
+	quicksortAsc(xs, maxDepth(len(xs)))
+}
+
+// SortDesc sorts xs descending under `<` (ascending under the reversed
+// order, the internal order of HRA sketches).
+//
+//req:noalloc
+func SortDesc[E Elem](xs []E) {
+	quicksortDesc(xs, maxDepth(len(xs)))
+}
+
+// maxDepth returns 2·⌊log₂(n)⌋, the recursion budget before switching to
+// heapsort, mirroring the generic introsort safeguard.
+//
+//req:noalloc
+func maxDepth(n int) int {
+	d := 0
+	for i := n; i > 0; i >>= 1 {
+		d++
+	}
+	return 2 * d
+}
+
+//req:noalloc
+func quicksortAsc[E Elem](xs []E, depth int) {
+	for len(xs) > insertionThreshold {
+		if depth == 0 {
+			heapsortAsc(xs)
+			return
+		}
+		depth--
+		p := partitionAsc(xs)
+		// Recurse on the smaller half, loop on the larger: O(log n) stack.
+		if p < len(xs)-p-1 {
+			quicksortAsc(xs[:p], depth)
+			xs = xs[p+1:]
+		} else {
+			quicksortAsc(xs[p+1:], depth)
+			xs = xs[:p]
+		}
+	}
+	insertionSortAsc(xs)
+}
+
+//req:noalloc
+func partitionAsc[E Elem](xs []E) int {
+	n := len(xs)
+	mid := n / 2
+	// Order xs[0], xs[mid], xs[n-1] so xs[mid] is the median.
+	if xs[mid] < xs[0] {
+		xs[mid], xs[0] = xs[0], xs[mid]
+	}
+	if xs[n-1] < xs[0] {
+		xs[n-1], xs[0] = xs[0], xs[n-1]
+	}
+	if xs[n-1] < xs[mid] {
+		xs[n-1], xs[mid] = xs[mid], xs[n-1]
+	}
+	// Pivot to position n-2 (xs[n-1] already ≥ pivot).
+	xs[mid], xs[n-2] = xs[n-2], xs[mid]
+	pivot := xs[n-2]
+	i, j := 0, n-2
+	for {
+		i++
+		for xs[i] < pivot {
+			i++
+		}
+		j--
+		for pivot < xs[j] {
+			j--
+		}
+		if i >= j {
+			break
+		}
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+	xs[i], xs[n-2] = xs[n-2], xs[i]
+	return i
+}
+
+//req:noalloc
+func insertionSortAsc[E Elem](xs []E) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+//req:noalloc
+func heapsortAsc[E Elem](xs []E) {
+	n := len(xs)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownAsc(xs, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		xs[0], xs[i] = xs[i], xs[0]
+		siftDownAsc(xs, 0, i)
+	}
+}
+
+//req:noalloc
+func siftDownAsc[E Elem](xs []E, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && xs[child] < xs[child+1] {
+			child++
+		}
+		if !(xs[root] < xs[child]) {
+			return
+		}
+		xs[root], xs[child] = xs[child], xs[root]
+		root = child
+	}
+}
+
+// The descending variants replace every less(u, v) with v < u, exactly as
+// internalLess does for HRA sketches.
+
+//req:noalloc
+func quicksortDesc[E Elem](xs []E, depth int) {
+	for len(xs) > insertionThreshold {
+		if depth == 0 {
+			heapsortDesc(xs)
+			return
+		}
+		depth--
+		p := partitionDesc(xs)
+		if p < len(xs)-p-1 {
+			quicksortDesc(xs[:p], depth)
+			xs = xs[p+1:]
+		} else {
+			quicksortDesc(xs[p+1:], depth)
+			xs = xs[:p]
+		}
+	}
+	insertionSortDesc(xs)
+}
+
+//req:noalloc
+func partitionDesc[E Elem](xs []E) int {
+	n := len(xs)
+	mid := n / 2
+	if xs[0] < xs[mid] {
+		xs[mid], xs[0] = xs[0], xs[mid]
+	}
+	if xs[0] < xs[n-1] {
+		xs[n-1], xs[0] = xs[0], xs[n-1]
+	}
+	if xs[mid] < xs[n-1] {
+		xs[n-1], xs[mid] = xs[mid], xs[n-1]
+	}
+	xs[mid], xs[n-2] = xs[n-2], xs[mid]
+	pivot := xs[n-2]
+	i, j := 0, n-2
+	for {
+		i++
+		for pivot < xs[i] {
+			i++
+		}
+		j--
+		for xs[j] < pivot {
+			j--
+		}
+		if i >= j {
+			break
+		}
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+	xs[i], xs[n-2] = xs[n-2], xs[i]
+	return i
+}
+
+//req:noalloc
+func insertionSortDesc[E Elem](xs []E) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j-1] < xs[j]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+//req:noalloc
+func heapsortDesc[E Elem](xs []E) {
+	n := len(xs)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownDesc(xs, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		xs[0], xs[i] = xs[i], xs[0]
+		siftDownDesc(xs, 0, i)
+	}
+}
+
+//req:noalloc
+func siftDownDesc[E Elem](xs []E, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && xs[child+1] < xs[child] {
+			child++
+		}
+		if !(xs[child] < xs[root]) {
+			return
+		}
+		xs[root], xs[child] = xs[child], xs[root]
+		root = child
+	}
+}

@@ -133,9 +133,12 @@ func (m *MappedSnapshot[T]) Mapped() bool { return m.file.Mapped() }
 func (m *MappedSnapshot[T]) Close() error { return m.file.Close() }
 
 // The natural orders the typed open paths rebuild snapshots with — the
-// same orders Float64/Uint64 sketches are built with.
-func lessFloat64(a, b float64) bool { return a < b }
-func lessUint64(a, b uint64) bool   { return a < b }
+// canonical functions Float64/Uint64 sketches are built with, so reopened
+// snapshots answer queries through the same kernel layer.
+var (
+	lessFloat64 = core.LessF64
+	lessUint64  = core.LessU64
+)
 
 // appendUint64sLE appends vs as little-endian bytes.
 func appendUint64sLE(out []byte, vs []uint64) []byte {

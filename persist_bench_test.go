@@ -21,9 +21,9 @@ func benchSnapshotDir(b *testing.B, n int) string {
 	if err != nil {
 		b.Fatal(err)
 	}
-	for i := 0; i < n; i++ {
-		s.Update(float64(i%9973) * 1.5)
-	}
+	// Same value distribution as the in-heap benches (benchValues), so the
+	// mapped-vs-heap comparison sees identical coreset shapes.
+	s.UpdateAll(benchValues(n, 2))
 	dir := b.TempDir()
 	if _, err := s.SaveSnapshot(dir); err != nil {
 		b.Fatal(err)
@@ -92,7 +92,10 @@ func BenchmarkOpenSnapshotREQ(b *testing.B) {
 }
 
 // BenchmarkMappedQueryREQ pins the steady-state query cost on a mapped
-// snapshot against the in-heap snapshot baseline (BenchmarkSnapshotREQ/query).
+// snapshot against the in-heap snapshot baseline (BenchmarkSnapshotREQ/query):
+// same ingest distribution, same varying-probe pattern, so the two numbers
+// differ only by the storage backing. A fixed probe would let the branch
+// predictor memorize one descent path and overstate the mapped path's speed.
 func BenchmarkMappedQueryREQ(b *testing.B) {
 	dir := benchSnapshotDir(b, 1<<20)
 	m, err := OpenSnapshotFloat64(dir)
@@ -100,9 +103,12 @@ func BenchmarkMappedQueryREQ(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer m.Close()
+	qs := benchValues(1024, 3)
 	b.ReportAllocs()
 	b.ResetTimer()
+	var sink uint64
 	for i := 0; i < b.N; i++ {
-		_ = m.Rank(7777.0)
+		sink += m.Rank(qs[i&1023])
 	}
+	_ = sink
 }

@@ -407,7 +407,7 @@ func (s *Float64) UnmarshalBinary(data []byte) error {
 	if err != nil {
 		return err
 	}
-	c, err := core.FromSnapshot(func(a, b float64) bool { return a < b }, snap)
+	c, err := core.FromSnapshot(core.LessF64, snap)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
@@ -436,7 +436,7 @@ func (s *Uint64) UnmarshalBinary(data []byte) error {
 	if err != nil {
 		return err
 	}
-	c, err := core.FromSnapshot(func(a, b uint64) bool { return a < b }, snap)
+	c, err := core.FromSnapshot(core.LessU64, snap)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
@@ -623,7 +623,7 @@ func unmarshalFrozen[T any](data []byte, less func(a, b T) bool, codec itemCodec
 // SnapshotFloat64.MarshalBinary into an immutable queryable snapshot.
 // Corrupt input returns ErrCorrupt (wrapped with detail); it never panics.
 func UnmarshalSnapshotFloat64(data []byte) (*SnapshotFloat64, error) {
-	f, err := unmarshalFrozen(data, func(a, b float64) bool { return a < b }, float64Codec)
+	f, err := unmarshalFrozen(data, core.LessF64, float64Codec)
 	if err != nil {
 		return nil, err
 	}
@@ -633,7 +633,7 @@ func UnmarshalSnapshotFloat64(data []byte) (*SnapshotFloat64, error) {
 // UnmarshalSnapshotUint64 decodes a snapshot record produced by
 // SnapshotUint64.MarshalBinary; see UnmarshalSnapshotFloat64.
 func UnmarshalSnapshotUint64(data []byte) (*SnapshotUint64, error) {
-	f, err := unmarshalFrozen(data, func(a, b uint64) bool { return a < b }, uint64Codec)
+	f, err := unmarshalFrozen(data, core.LessU64, uint64Codec)
 	if err != nil {
 		return nil, err
 	}

@@ -423,7 +423,7 @@ type ShardedFloat64 struct {
 // opts.
 func NewShardedFloat64(opts ...Option) (*ShardedFloat64, error) {
 	s := &ShardedFloat64{}
-	if err := s.init(func(a, b float64) bool { return a < b }, opts); err != nil {
+	if err := s.init(core.LessF64, opts); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -477,7 +477,7 @@ type ShardedUint64 struct {
 // opts.
 func NewShardedUint64(opts ...Option) (*ShardedUint64, error) {
 	s := &ShardedUint64{}
-	if err := s.init(func(a, b uint64) bool { return a < b }, opts); err != nil {
+	if err := s.init(core.LessU64, opts); err != nil {
 		return nil, err
 	}
 	return s, nil

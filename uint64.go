@@ -1,5 +1,7 @@
 package req
 
+import "req/internal/core"
+
 // Uint64 is a sketch specialised to uint64 values — timestamps, byte
 // counts, identifiers with a meaningful order. Like Float64 it supports
 // binary serialization, and inherits the batch ingest path (UpdateBatch /
@@ -13,9 +15,10 @@ type Uint64 struct {
 }
 
 // NewUint64 returns an empty uint64 sketch configured by opts. Values
-// compare by the usual < order.
+// compare by the usual < order (the canonical core.LessU64, which activates
+// the monomorphic kernel layer — see "Hardware kernels" in doc.go).
 func NewUint64(opts ...Option) (*Uint64, error) {
-	s, err := New(func(a, b uint64) bool { return a < b }, opts...)
+	s, err := New(core.LessU64, opts...)
 	if err != nil {
 		return nil, err
 	}
