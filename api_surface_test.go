@@ -156,6 +156,7 @@ var apiSurfaceGolden = []string{
 	"ErrBadRank",
 	"ErrCorrupt",
 	"ErrEmpty",
+	"ErrNoKey",
 	"ErrNoSnapshot",
 	"ErrTornWrite",
 	"Float64",
@@ -176,17 +177,61 @@ var apiSurfaceGolden = []string{
 	"New",
 	"NewConcurrentFloat64",
 	"NewFloat64",
+	"NewRegistry",
+	"NewRegistryFloat64",
+	"NewRegistryUint64",
 	"NewSharded",
 	"NewShardedFloat64",
 	"NewShardedUint64",
 	"NewUint64",
+	"NewWindowedRegistry",
+	"NewWindowedRegistryFloat64",
 	"OpenOption",
+	"OpenRegistryFileFloat64",
+	"OpenRegistryFileUint64",
+	"OpenRegistryFloat64",
+	"OpenRegistryUint64",
 	"OpenSnapshotFileFloat64",
 	"OpenSnapshotFileUint64",
 	"OpenSnapshotFloat64",
 	"OpenSnapshotUint64",
 	"Option",
 	"Reader",
+	"Registry",
+	"Registry.Contains",
+	"Registry.Count",
+	"Registry.Delete",
+	"Registry.Evictions",
+	"Registry.ExpireNow",
+	"Registry.Len",
+	"Registry.NumShards",
+	"Registry.Quantile",
+	"Registry.QuantilesInto",
+	"Registry.Rank",
+	"Registry.Reset",
+	"Registry.Snapshot",
+	"Registry.String",
+	"Registry.Update",
+	"Registry.UpdateBatch",
+	"Registry.Visit",
+	"RegistryFloat64",
+	"RegistryFloat64.MarshalBinary",
+	"RegistryFloat64.SaveRegistry",
+	"RegistryFloat64.Update",
+	"RegistryFloat64.UpdateBatch",
+	"RegistryFloat64.WriteRegistryFile",
+	"RegistrySnapshot",
+	"RegistrySnapshot.All",
+	"RegistrySnapshot.Generation",
+	"RegistrySnapshot.Get",
+	"RegistrySnapshot.Len",
+	"RegistrySnapshot.String",
+	"RegistrySnapshotFloat64",
+	"RegistrySnapshotUint64",
+	"RegistryUint64",
+	"RegistryUint64.MarshalBinary",
+	"RegistryUint64.SaveRegistry",
+	"RegistryUint64.WriteRegistryFile",
 	"Sharded",
 	"Sharded.All",
 	"Sharded.CDF",
@@ -294,6 +339,8 @@ var apiSurfaceGolden = []string{
 	"Uint64.Merge",
 	"Uint64.SaveSnapshot",
 	"Uint64.UnmarshalBinary",
+	"UnmarshalRegistryFloat64",
+	"UnmarshalRegistryUint64",
 	"UnmarshalSnapshotFloat64",
 	"UnmarshalSnapshotUint64",
 	"VerifyChecksum",
@@ -301,15 +348,40 @@ var apiSurfaceGolden = []string{
 	"VerifyMode",
 	"VerifyNone",
 	"WeightedItem",
+	"WindowedRegistry",
+	"WindowedRegistry.Contains",
+	"WindowedRegistry.Count",
+	"WindowedRegistry.Delete",
+	"WindowedRegistry.Evictions",
+	"WindowedRegistry.ExpireNow",
+	"WindowedRegistry.Len",
+	"WindowedRegistry.NumShards",
+	"WindowedRegistry.Quantile",
+	"WindowedRegistry.QuantilesInto",
+	"WindowedRegistry.Rank",
+	"WindowedRegistry.Reset",
+	"WindowedRegistry.SlotDuration",
+	"WindowedRegistry.Slots",
+	"WindowedRegistry.String",
+	"WindowedRegistry.Update",
+	"WindowedRegistry.UpdateBatch",
+	"WindowedRegistry.WindowDuration",
+	"WindowedRegistryFloat64",
+	"WindowedRegistryFloat64.Update",
+	"WindowedRegistryFloat64.UpdateBatch",
+	"WithClock",
 	"WithDelta",
 	"WithEpsilon",
 	"WithHighRankAccuracy",
 	"WithK",
 	"WithKnownN",
+	"WithMaxEntries",
 	"WithPaperConstants",
 	"WithSeed",
 	"WithShards",
+	"WithTTL",
 	"WithTheorem2Mode",
 	"WithVerify",
+	"WithWindow",
 	"WithoutMmap",
 }

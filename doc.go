@@ -136,6 +136,41 @@
 // machinery (inspect prints a per-section checksum report even for files
 // the opener rejects).
 //
+// # Multi-tenant registry
+//
+// The "millions of users" workload is per-key quantiles — per-endpoint,
+// per-user, per-device latency — not one giant stream. Registry[K, T]
+// (and the RegistryFloat64 / RegistryUint64 instantiations) is a
+// concurrent keyed collection of sketches built for that population:
+//
+//	reg, _ := req.NewRegistryFloat64(req.WithK(8),
+//	        req.WithMaxEntries(1<<20), req.WithTTL(15*time.Minute))
+//	reg.Update("GET /checkout", 12.7) // lazily creates the key's sketch
+//	p99, _ := reg.Quantile("GET /checkout", 0.99)
+//
+// Entries live in per-shard block arenas with freelists (internal/tenant):
+// a million-key registry is thousands of allocations, not millions, and
+// eviction recycles cells and their grown sketch slabs, so steady-state
+// keyed updates, keyed queries, and whole-key churn are all 0 allocs/op.
+// WithTTL gives idle keys a lazy time-to-live, WithMaxEntries caps the
+// resident population behind a clock-hand second-chance sweep, and
+// WithClock injects synthetic time for tests. Visit iterates the
+// population allocation-lean; MarshalBinary and SaveRegistry export every
+// key's coreset as one blob or one crash-safe snapstore generation
+// ("RREG" format), restored by UnmarshalRegistry* / OpenRegistry* as an
+// immutable RegistrySnapshot whose per-key answers are bit-identical to
+// the live registry's frozen answers at capture time.
+//
+// WindowedRegistry answers over a trailing time window instead of the
+// whole stream: each key carries a ring of sketch slots rotated lazily on
+// epoch boundaries, and queries merge the live slots through the
+// mergeability guarantee (Theorem 3), so a windowed answer carries the
+// same ε budget as a single sketch over the window's items. Merges reuse
+// a per-shard stage sketch — steady-state windowed queries are also
+// allocation-free. This is the monitoring/SLO shape: per-endpoint p99
+// over the last N minutes with keys appearing and expiring as traffic
+// shifts (see examples/slo and experiment E17).
+//
 // # Modes
 //
 // Three parameterisations are exposed (see the paper's Sections 4, Appendix

@@ -1,0 +1,195 @@
+// SLO dashboard: per-endpoint windowed p99 under churn — the registry's
+// reason to exist.
+//
+// A fleet of endpoints with wildly different traffic shares streams
+// latencies into one WindowedRegistryFloat64: every endpoint gets its
+// own ring of sketch slots, queries answer over the trailing window
+// only, idle endpoints expire under a TTL, and a capacity cap keeps the
+// resident population bounded no matter how many distinct endpoints
+// appear. A synthetic clock drives rotation so the run is deterministic.
+//
+// The demo prints a small dashboard after each simulated minute: the
+// busiest endpoints' windowed p50/p99 against the exact p99 over the
+// same window, then shifts traffic (the v1 endpoints go cold, a new
+// deployment's v2 endpoints appear) and shows eviction reclaiming the
+// cold keys while the survivors' answers stay within ε.
+//
+//	go run ./examples/slo
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"req"
+	"req/internal/rng"
+)
+
+const (
+	slots    = 5
+	slotDur  = time.Minute
+	ttl      = 3 * time.Minute
+	maxKeys  = 64
+	perTick  = 40_000 // requests per simulated minute
+	simTicks = 10
+)
+
+// endpoint is one traffic source: a name, a share of traffic, and a
+// latency shape (log-normal body: exp of a scaled normal).
+type endpoint struct {
+	name  string
+	share float64
+	scale float64 // median latency ms
+	sigma float64 // tail heaviness
+}
+
+func main() {
+	var now int64 // synthetic nanosecond clock
+	reg, err := req.NewWindowedRegistryFloat64(
+		req.WithEpsilon(0.02),
+		req.WithHighRankAccuracy(), // p99 is the number that pages
+		req.WithWindow(slots, slotDur),
+		req.WithTTL(ttl),
+		req.WithMaxEntries(maxKeys),
+		req.WithSeed(7),
+		req.WithClock(func() int64 { return now }),
+	)
+	if err != nil {
+		panic(err)
+	}
+
+	gen1 := fleet("v1", 12)
+	gen2 := fleet("v2", 12)
+	r := rng.New(42)
+
+	// Exact mirror of every live window: per endpoint, per minute, the
+	// raw values — pruned as minutes fall out of the window.
+	exact := map[string]map[int][]float64{}
+
+	fmt.Printf("window: %d × %s; TTL %s; capacity %d keys; ε=0.02 (HRA)\n",
+		slots, slotDur, ttl, maxKeys)
+	for tick := 0; tick < simTicks; tick++ {
+		now = int64(tick) * int64(slotDur)
+
+		// Traffic: v1 serves the first half of the run, v2 the second;
+		// the handover minute serves both (a rolling deploy).
+		var active []endpoint
+		switch {
+		case tick < simTicks/2:
+			active = gen1
+		case tick == simTicks/2:
+			active = append(append([]endpoint{}, gen1...), gen2...)
+		default:
+			active = gen2
+		}
+
+		for i := 0; i < perTick; i++ {
+			ep := pick(active, r)
+			v := ep.scale * math.Exp(ep.sigma*r.NormFloat64())
+			reg.Update(ep.name, v)
+			byTick := exact[ep.name]
+			if byTick == nil {
+				byTick = map[int][]float64{}
+				exact[ep.name] = byTick
+			}
+			byTick[tick] = append(byTick[tick], v)
+		}
+
+		// Prune the mirror: drop minutes outside the window and
+		// endpoints the registry evicted.
+		for name, byTick := range exact {
+			if !reg.Contains(name) {
+				delete(exact, name)
+				continue
+			}
+			for t := range byTick {
+				if t <= tick-slots {
+					delete(byTick, t)
+				}
+			}
+		}
+
+		expired := reg.ExpireNow()
+		fmt.Printf("\nminute %2d  resident=%d evicted_total=%d expired_now=%d\n",
+			tick, reg.Len(), reg.Evictions(), expired)
+		fmt.Printf("  %-14s %10s %10s %10s %10s %8s\n",
+			"endpoint", "win_count", "p50(ms)", "p99(ms)", "exact_p99", "rankerr")
+		for _, ep := range top(active, 4) {
+			n := reg.Count(ep.name)
+			if n == 0 {
+				continue
+			}
+			qs, err := reg.QuantilesInto(ep.name, nil, []float64{0.5, 0.99})
+			if err != nil {
+				panic(err)
+			}
+			exactP99, rankerr := exactTail(exact[ep.name], qs[1])
+			fmt.Printf("  %-14s %10d %10.2f %10.2f %10.2f %8.4f\n",
+				ep.name, n, qs[0], qs[1], exactP99, rankerr)
+		}
+	}
+
+	fmt.Printf("\nfinal population: %s — cold v1 endpoints expired, v2 resident\n", reg)
+}
+
+// fleet builds n endpoints with a power-law traffic split.
+func fleet(prefix string, n int) []endpoint {
+	eps := make([]endpoint, n)
+	total := 0.0
+	for i := range eps {
+		share := 1.0 / float64(i+1)
+		eps[i] = endpoint{
+			name:  fmt.Sprintf("%s/api-%02d", prefix, i),
+			share: share,
+			scale: 8 + 3*float64(i%5),
+			sigma: 0.6 + 0.1*float64(i%4),
+		}
+		total += share
+	}
+	for i := range eps {
+		eps[i].share /= total
+	}
+	return eps
+}
+
+// pick draws an endpoint proportional to its traffic share.
+func pick(eps []endpoint, r *rng.Source) endpoint {
+	u := r.Float64()
+	for _, ep := range eps {
+		if u < ep.share {
+			return ep
+		}
+		u -= ep.share
+	}
+	return eps[len(eps)-1]
+}
+
+// top returns the n busiest endpoints of the active set.
+func top(eps []endpoint, n int) []endpoint {
+	out := append([]endpoint{}, eps...)
+	sort.Slice(out, func(i, j int) bool { return out[i].share > out[j].share })
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// exactTail computes the exact p99 over the endpoint's mirrored window
+// and the normalized rank error of the sketch's p99 estimate against it.
+func exactTail(byTick map[int][]float64, est float64) (exactP99, rankerr float64) {
+	var vals []float64
+	for _, vs := range byTick {
+		vals = append(vals, vs...)
+	}
+	if len(vals) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	sort.Float64s(vals)
+	n := len(vals)
+	exactP99 = vals[int(math.Ceil(0.99*float64(n)))-1]
+	rank := sort.SearchFloat64s(vals, math.Nextafter(est, math.Inf(1)))
+	rankerr = math.Abs(float64(rank)-0.99*float64(n)) / float64(n)
+	return exactP99, rankerr
+}

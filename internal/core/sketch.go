@@ -109,23 +109,35 @@ type Stats struct {
 // New returns an empty sketch over the strict order less. The config is
 // normalized; an invalid config returns an error.
 func New[T any](less func(a, b T) bool, cfg Config) (*Sketch[T], error) {
-	if less == nil {
-		return nil, fmt.Errorf("core: nil less function")
-	}
-	if err := cfg.Normalize(); err != nil {
+	s := new(Sketch[T])
+	if err := s.Init(less, cfg); err != nil {
 		return nil, err
 	}
-	s := &Sketch[T]{
-		less: less,
-		kern: kernelFor(less),
-		cfg:  cfg,
-		rnd:  rng.New(cfg.Seed),
+	return s, nil
+}
+
+// Init initializes s in place as an empty sketch over the strict order
+// less, exactly as New would construct it. It exists for callers that
+// embed Sketch by value inside pooled or arena-allocated cells (the
+// multi-tenant registry packs millions of sketches into block arenas, one
+// compact struct per key, with no per-sketch pointer allocation); s must
+// be the zero value.
+func (s *Sketch[T]) Init(less func(a, b T) bool, cfg Config) error {
+	if less == nil {
+		return fmt.Errorf("core: nil less function")
 	}
+	if err := cfg.Normalize(); err != nil {
+		return err
+	}
+	s.less = less
+	s.kern = kernelFor(less)
+	s.cfg = cfg
+	s.rnd = rng.New(cfg.Seed)
 	s.bound = cfg.initialBound()
 	s.geom = cfg.geometryFor(s.bound)
 	s.levels = make([]compactor[T], 0, 8)
 	s.levels = s.store.addLevel(s.levels, s.geom.b)
-	return s, nil
+	return nil
 }
 
 // internalLess is the order compaction protects: the caller's order for

@@ -1,0 +1,364 @@
+package harness
+
+// The registry rig: a machine-readable report for the multi-tenant
+// keyed-sketch workloads — millions of small sketches behind Registry's
+// sharded slab arena. Like the multicore rig (and unlike the E-series
+// experiments) this writes JSON for diffing across commits; BENCH_pr9.json
+// records one run.
+//
+// Four workloads:
+//
+//   - build: populate K keys and measure ns/update and resident bytes/key,
+//     A/B between the slab-pooled Registry and a naive map[string]*sketch —
+//     the number that justifies the arena design.
+//   - hotkey: skewed access (80% of ops on 0.1% of keys) with interleaved
+//     p99 queries — the dashboard steady state; allocs/op should be ~0.
+//   - churn: a capped registry fed an unbounded key namespace under a
+//     synthetic TTL clock — constant eviction and slab recycling;
+//     allocs/op should be ~0 once every shard has grown.
+//   - export: MarshalBinary + decode of the full population — the bulk
+//     snapshot path feeding snapstore.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	req "req"
+	"req/internal/rng"
+)
+
+// RegistryReport is the machine-readable output of RunRegistry.
+type RegistryReport struct {
+	CPUs      int    `json:"cpus"`
+	GoVersion string `json:"go_version"`
+	GOARCH    string `json:"goarch"`
+	Quick     bool   `json:"quick"`
+	Note      string `json:"note"`
+
+	Build  []RegistryBuildPoint  `json:"build"`
+	HotKey []RegistryHotKeyPoint `json:"hotkey"`
+	Churn  []RegistryChurnPoint  `json:"churn"`
+	Export []RegistryExportPoint `json:"export"`
+}
+
+// RegistryBuildPoint is one cell of the scale × implementation build A/B.
+// Creation (the first pass, which allocates every sketch and faults in the
+// arena) is timed separately from the steady-state update passes.
+type RegistryBuildPoint struct {
+	Impl          string  `json:"impl"` // "registry-slab" or "naive-map"
+	Keys          int     `json:"keys"`
+	UpdatesPerKey int     `json:"updates_per_key"`
+	NsPerCreate   float64 `json:"ns_per_create"` // first pass: one create+update per key
+	NsPerUpdate   float64 `json:"ns_per_update"` // later passes: resident-key updates
+	BytesPerKey   float64 `json:"bytes_per_key"`
+	AllocsPerKey  float64 `json:"allocs_per_key"`
+}
+
+// RegistryHotKeyPoint reports the skewed steady-state mixed workload.
+type RegistryHotKeyPoint struct {
+	Keys        int     `json:"keys"`
+	Ops         int     `json:"ops"`
+	HotFrac     float64 `json:"hot_frac"`      // fraction of keys that are hot
+	HotShare    float64 `json:"hot_share"`     // fraction of ops hitting them
+	QueryEvery  int     `json:"query_every"`   // one Quantile per this many updates
+	NsPerOp     float64 `json:"ns_per_op"`     // updates + queries combined
+	AllocsPerOp float64 `json:"allocs_per_op"` // should be ~0
+}
+
+// RegistryChurnPoint reports the capped-capacity TTL churn workload.
+type RegistryChurnPoint struct {
+	MaxEntries  int     `json:"max_entries"`
+	Namespace   int     `json:"namespace"` // distinct keys fed in
+	Ops         int     `json:"ops"`
+	TTLSlots    int     `json:"updates_per_ttl"` // clock granularity
+	Evictions   uint64  `json:"evictions"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"` // should be ~0: recycled cells + slabs
+}
+
+// RegistryExportPoint reports the bulk snapshot export path.
+type RegistryExportPoint struct {
+	Keys          int     `json:"keys"`
+	BlobBytes     int     `json:"blob_bytes"`
+	BytesPerKey   float64 `json:"blob_bytes_per_key"`
+	EncodeSeconds float64 `json:"encode_seconds"`
+	DecodeSeconds float64 `json:"decode_seconds"`
+	EncodeMBps    float64 `json:"encode_mb_per_s"`
+}
+
+// registryOpts is the shared sketch shape for every rig workload: small
+// per-key sketches (the multi-tenant regime) with deterministic seeds.
+func registryOpts(extra ...req.Option) []req.Option {
+	return append([]req.Option{req.WithK(8), req.WithSeed(9)}, extra...)
+}
+
+// memUsed forces a GC and returns (heap bytes, cumulative mallocs).
+func memUsed() (uint64, uint64) {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc, ms.Mallocs
+}
+
+// keyNames returns n distinct key strings, allocated up front so key
+// construction never pollutes a measurement.
+func keyNames(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("tenant-%08d", i)
+	}
+	return keys
+}
+
+// RunRegistry executes the registry workloads and writes the JSON report.
+func RunRegistry(w io.Writer, cfg Config) error {
+	rep := &RegistryReport{
+		CPUs:      runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		Quick:     cfg.Quick,
+		Note: "bytes_per_key is resident heap delta after GC divided by keys; " +
+			"allocs_per_op is the Mallocs delta over the measured ops (steady state, post-warm); " +
+			"ns_per_create covers each impl's first pass (sketch creation + first-touch page " +
+			"faults), ns_per_update the later resident-key passes; impls run sequentially in " +
+			"one process, so a later impl can reuse OS pages an earlier one faulted in — " +
+			"compare allocs/bytes across impls, compare ns within an impl across scales",
+	}
+
+	scales := []int{1 << 20, 1 << 22}
+	updatesPerKey := 8
+	if cfg.Quick {
+		scales = []int{1 << 16}
+		updatesPerKey = 4
+	}
+
+	for _, keys := range scales {
+		rep.Build = append(rep.Build,
+			buildRegistrySlab(keys, updatesPerKey, cfg.Seed),
+			buildNaiveMap(keys, updatesPerKey, cfg.Seed))
+	}
+	rep.HotKey = append(rep.HotKey, runHotKey(scales[0], cfg))
+	rep.Churn = append(rep.Churn, runChurn(cfg))
+	rep.Export = append(rep.Export, runExport(scales[0], cfg))
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func buildRegistrySlab(keys, perKey int, seed uint64) RegistryBuildPoint {
+	names := keyNames(keys)
+	r := rng.New(seed + 101)
+	vals := make([]float64, 1<<16)
+	for i := range vals {
+		vals[i] = r.Float64()
+	}
+	heap0, mallocs0 := memUsed()
+	reg, err := req.NewRegistryFloat64(registryOpts()...)
+	if err != nil {
+		panic(err)
+	}
+	start := time.Now()
+	for i, k := range names {
+		reg.Update(k, vals[i&(1<<16-1)])
+	}
+	createSecs := time.Since(start).Seconds()
+	start = time.Now()
+	ops := 0
+	for pass := 1; pass < perKey; pass++ {
+		for i, k := range names {
+			reg.Update(k, vals[(pass*keys+i)&(1<<16-1)])
+			ops++
+		}
+	}
+	secs := time.Since(start).Seconds()
+	heap1, mallocs1 := memUsed()
+	pt := RegistryBuildPoint{
+		Impl: "registry-slab", Keys: keys, UpdatesPerKey: perKey,
+		NsPerCreate:  createSecs / float64(keys) * 1e9,
+		NsPerUpdate:  secs / float64(ops) * 1e9,
+		BytesPerKey:  float64(heap1-heap0) / float64(keys),
+		AllocsPerKey: float64(mallocs1-mallocs0) / float64(keys),
+	}
+	runtime.KeepAlive(reg)
+	return pt
+}
+
+func buildNaiveMap(keys, perKey int, seed uint64) RegistryBuildPoint {
+	names := keyNames(keys)
+	r := rng.New(seed + 101)
+	vals := make([]float64, 1<<16)
+	for i := range vals {
+		vals[i] = r.Float64()
+	}
+	heap0, mallocs0 := memUsed()
+	m := make(map[string]*req.Float64)
+	start := time.Now()
+	for i, k := range names {
+		s, err := req.NewFloat64(registryOpts(req.WithSeed(uint64(i)))...)
+		if err != nil {
+			panic(err)
+		}
+		m[k] = s
+		s.Update(vals[i&(1<<16-1)])
+	}
+	createSecs := time.Since(start).Seconds()
+	start = time.Now()
+	ops := 0
+	for pass := 1; pass < perKey; pass++ {
+		for i, k := range names {
+			m[k].Update(vals[(pass*keys+i)&(1<<16-1)])
+			ops++
+		}
+	}
+	secs := time.Since(start).Seconds()
+	heap1, mallocs1 := memUsed()
+	pt := RegistryBuildPoint{
+		Impl: "naive-map", Keys: keys, UpdatesPerKey: perKey,
+		NsPerCreate:  createSecs / float64(keys) * 1e9,
+		NsPerUpdate:  secs / float64(ops) * 1e9,
+		BytesPerKey:  float64(heap1-heap0) / float64(keys),
+		AllocsPerKey: float64(mallocs1-mallocs0) / float64(keys),
+	}
+	runtime.KeepAlive(m)
+	return pt
+}
+
+func runHotKey(keys int, cfg Config) RegistryHotKeyPoint {
+	const (
+		hotFrac    = 0.001
+		hotShare   = 0.8
+		queryEvery = 64
+	)
+	ops := 1 << 24
+	if cfg.Quick {
+		ops = 1 << 20
+	}
+	names := keyNames(keys)
+	hot := int(float64(keys) * hotFrac)
+	if hot < 1 {
+		hot = 1
+	}
+	reg, err := req.NewRegistryFloat64(registryOpts()...)
+	if err != nil {
+		panic(err)
+	}
+	r := rng.New(cfg.Seed + 202)
+	// Warm: touch every key once, then run a fifth of the ops to reach
+	// steady state before measuring.
+	for _, k := range names {
+		reg.Update(k, r.Float64())
+	}
+	pick := func() string {
+		if r.Float64() < hotShare {
+			return names[r.Intn(hot)]
+		}
+		return names[r.Intn(keys)]
+	}
+	for i := 0; i < ops/5; i++ {
+		reg.Update(pick(), r.Float64())
+	}
+	_, mallocs0 := memUsed()
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		k := pick()
+		reg.Update(k, r.Float64())
+		if i%queryEvery == 0 {
+			if _, err := reg.Quantile(k, 0.99); err != nil {
+				panic(err)
+			}
+		}
+	}
+	secs := time.Since(start).Seconds()
+	_, mallocs1 := memUsed()
+	return RegistryHotKeyPoint{
+		Keys: keys, Ops: ops, HotFrac: hotFrac, HotShare: hotShare, QueryEvery: queryEvery,
+		NsPerOp:     secs / float64(ops) * 1e9,
+		AllocsPerOp: float64(mallocs1-mallocs0) / float64(ops),
+	}
+}
+
+func runChurn(cfg Config) RegistryChurnPoint {
+	maxEntries := 1 << 16
+	namespace := 1 << 20
+	ops := 1 << 23
+	if cfg.Quick {
+		maxEntries = 1 << 12
+		namespace = 1 << 16
+		ops = 1 << 19
+	}
+	const updatesPerTTL = 1 << 12
+	names := keyNames(namespace)
+	var now int64
+	reg, err := req.NewRegistryFloat64(registryOpts(
+		req.WithMaxEntries(maxEntries),
+		req.WithTTL(time.Minute),
+		req.WithClock(func() int64 { return now }))...)
+	if err != nil {
+		panic(err)
+	}
+	r := rng.New(cfg.Seed + 303)
+	step := func(i int) {
+		// Sequential sweep through the namespace: every key is new to the
+		// capped registry, so each creation recycles an evicted cell.
+		reg.Update(names[i%namespace], r.Float64())
+		if i%updatesPerTTL == 0 {
+			now += int64(time.Second)
+		}
+	}
+	for i := 0; i < ops/4; i++ {
+		step(i) // warm: grow every shard's arena and slabs to steady state
+	}
+	evict0 := reg.Evictions()
+	_, mallocs0 := memUsed()
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		step(i)
+	}
+	secs := time.Since(start).Seconds()
+	_, mallocs1 := memUsed()
+	return RegistryChurnPoint{
+		MaxEntries: maxEntries, Namespace: namespace, Ops: ops, TTLSlots: updatesPerTTL,
+		Evictions:   reg.Evictions() - evict0,
+		NsPerOp:     secs / float64(ops) * 1e9,
+		AllocsPerOp: float64(mallocs1-mallocs0) / float64(ops),
+	}
+}
+
+func runExport(keys int, cfg Config) RegistryExportPoint {
+	names := keyNames(keys)
+	reg, err := req.NewRegistryFloat64(registryOpts()...)
+	if err != nil {
+		panic(err)
+	}
+	r := rng.New(cfg.Seed + 404)
+	for pass := 0; pass < 4; pass++ {
+		for _, k := range names {
+			reg.Update(k, r.Float64())
+		}
+	}
+	start := time.Now()
+	blob, err := reg.MarshalBinary()
+	if err != nil {
+		panic(err)
+	}
+	encSecs := time.Since(start).Seconds()
+	start = time.Now()
+	rs, err := req.UnmarshalRegistryFloat64(blob)
+	if err != nil {
+		panic(err)
+	}
+	decSecs := time.Since(start).Seconds()
+	if rs.Len() != keys {
+		panic(fmt.Sprintf("export round-trip lost keys: %d of %d", rs.Len(), keys))
+	}
+	return RegistryExportPoint{
+		Keys: keys, BlobBytes: len(blob),
+		BytesPerKey:   float64(len(blob)) / float64(keys),
+		EncodeSeconds: encSecs, DecodeSeconds: decSecs,
+		EncodeMBps: float64(len(blob)) / 1e6 / encSecs,
+	}
+}

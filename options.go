@@ -2,6 +2,7 @@ package req
 
 import (
 	"fmt"
+	"time"
 
 	"req/internal/core"
 )
@@ -99,6 +100,72 @@ func WithShards(n int) Option {
 			return fmt.Errorf("req: shard count %d must be non-negative", n)
 		}
 		c.Shards = n
+		return nil
+	}
+}
+
+// WithTTL sets a registry's idle time-to-live: a key untouched (no update,
+// no query) for at least d reads as absent and its storage is reclaimed —
+// lazily on access, under capacity pressure, or by an explicit ExpireNow
+// sweep. d must be positive. Plain (unkeyed) sketches ignore this option.
+func WithTTL(d time.Duration) Option {
+	return func(c *core.Config) error {
+		if d <= 0 {
+			return fmt.Errorf("req: TTL %v must be positive", d)
+		}
+		c.TTLNanos = int64(d)
+		return nil
+	}
+}
+
+// WithMaxEntries caps a registry's resident key count at n (split evenly
+// across shards: each shard enforces ceil(n/shards)). A creation over a
+// full shard evicts one resident key chosen by a clock-hand second-chance
+// sweep — TTL-expired keys first, least-recently-touched next. Plain
+// (unkeyed) sketches ignore this option.
+func WithMaxEntries(n int) Option {
+	return func(c *core.Config) error {
+		if n <= 0 {
+			return fmt.Errorf("req: max entries %d must be positive", n)
+		}
+		c.MaxEntries = n
+		return nil
+	}
+}
+
+// WithWindow shapes a WindowedRegistry: per key, a ring of slots sketch
+// slots each covering slot duration of stream time, so queries answer over
+// the trailing slots·slot window (the current partial slot plus slots−1
+// sealed ones). More slots means finer window granularity at
+// proportionally more memory per key. Slots must be ≥ 2; slot must be
+// positive. Registry and plain sketches reject/ignore this option
+// respectively; NewWindowedRegistry requires it.
+func WithWindow(slots int, slot time.Duration) Option {
+	return func(c *core.Config) error {
+		if slots < 2 {
+			return fmt.Errorf("req: window slot count %d must be ≥ 2", slots)
+		}
+		if slot <= 0 {
+			return fmt.Errorf("req: window slot duration %v must be positive", slot)
+		}
+		c.WindowSlots = slots
+		c.SlotNanos = int64(slot)
+		return nil
+	}
+}
+
+// WithClock injects the registry's nanosecond clock, read on every keyed
+// operation for TTL bookkeeping and window-slot rotation. The default is
+// the wall clock (time.Now().UnixNano()); tests inject synthetic time to
+// drive eviction and rotation deterministically. now must be monotonic
+// non-decreasing for eviction semantics to be meaningful. Plain (unkeyed)
+// sketches ignore this option.
+func WithClock(now func() int64) Option {
+	return func(c *core.Config) error {
+		if now == nil {
+			return fmt.Errorf("req: nil clock")
+		}
+		c.Now = now
 		return nil
 	}
 }

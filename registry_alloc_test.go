@@ -1,0 +1,170 @@
+package req
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// Allocation pins for the keyed hot paths: once every resident sketch has
+// grown past its high-water mark, keyed updates and keyed queries must not
+// allocate — the tenant arena recycles cells, the sketch recycles its
+// slab, and the query path repairs views into recycled storage.
+
+// warmRegistry builds a string-keyed registry with nkeys resident keys,
+// each warmed past its growth phase and through two freeze/repair cycles.
+func warmRegistry(tb testing.TB, nkeys, perKey int) (*RegistryFloat64, []string) {
+	tb.Helper()
+	reg, err := NewRegistryFloat64(WithK(8), WithSeed(7), WithShards(4))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	keys := make([]string, nkeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("tenant-%04d", i)
+	}
+	for i, k := range keys {
+		for j := 0; j < perKey; j++ {
+			reg.Update(k, float64((j*7919+i)%perKey))
+		}
+		// Cycle the view cache so queries repair into recycled storage.
+		if _, err := reg.Quantile(k, 0.5); err != nil {
+			tb.Fatal(err)
+		}
+		reg.Update(k, 0.5)
+		if _, err := reg.Quantile(k, 0.5); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return reg, keys
+}
+
+func TestAllocsRegistryUpdate(t *testing.T) {
+	reg, keys := warmRegistry(t, 64, 1<<12)
+	i := 0
+	if avg := testing.AllocsPerRun(5000, func() {
+		reg.Update(keys[i&63], float64(i&1023))
+		i++
+	}); avg != 0 {
+		t.Fatalf("steady-state keyed Update allocates %v allocs/op", avg)
+	}
+}
+
+func TestAllocsRegistryQuantile(t *testing.T) {
+	reg, keys := warmRegistry(t, 16, 1<<12)
+	i := 0
+	if avg := testing.AllocsPerRun(2000, func() {
+		k := keys[i&15]
+		reg.Update(k, float64(i&1023))
+		if _, err := reg.Quantile(k, 0.99); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}); avg != 0 {
+		t.Fatalf("keyed Quantile with interleaved updates allocates %v allocs/op", avg)
+	}
+}
+
+func TestAllocsRegistryQuantilesInto(t *testing.T) {
+	reg, keys := warmRegistry(t, 8, 1<<12)
+	phis := []float64{0.5, 0.9, 0.99}
+	dst := make([]float64, 0, len(phis))
+	i := 0
+	if avg := testing.AllocsPerRun(2000, func() {
+		k := keys[i&7]
+		reg.Update(k, float64(i&1023))
+		var err error
+		dst, err = reg.QuantilesInto(k, dst[:0], phis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}); avg != 0 {
+		t.Fatalf("keyed QuantilesInto allocates %v allocs/op", avg)
+	}
+}
+
+// TestAllocsRegistryChurn pins the eviction-recycle loop: with the
+// registry at capacity, creating fresh keys forever must reuse freelist
+// cells and reset slabs, not allocate. Key strings are preallocated (the
+// caller owns key construction; the registry must add nothing).
+func TestAllocsRegistryChurn(t *testing.T) {
+	reg, err := NewRegistryFloat64(WithK(4), WithSeed(3), WithShards(2), WithMaxEntries(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 4096)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("churn-%05d", i)
+	}
+	// Fill to capacity and run a full churn cycle so every shard has
+	// evicted and recycled at least once at the final slab sizes.
+	for _, k := range keys {
+		for j := 0; j < 64; j++ {
+			reg.Update(k, float64(j))
+		}
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(5000, func() {
+		reg.Update(keys[i&4095], float64(i&63))
+		i++
+	}); avg != 0 {
+		t.Fatalf("steady-state key churn allocates %v allocs/op", avg)
+	}
+}
+
+func TestAllocsWindowedUpdateAndQuery(t *testing.T) {
+	clk := &fakeClock{}
+	w, err := NewWindowedRegistryFloat64(
+		WithK(8), WithSeed(5), WithShards(2), WithWindow(4, time.Second), clk.opt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 16)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("ep-%02d", i)
+	}
+	// Warm: fill every slot of every key across several full rotations,
+	// querying as we go so the per-shard merge stages reach their
+	// high-water marks.
+	phis := []float64{0.5, 0.99}
+	dst := make([]float64, 0, len(phis))
+	for ep := 0; ep < 12; ep++ {
+		clk.set(time.Duration(ep) * time.Second)
+		for i, k := range keys {
+			for j := 0; j < 1<<10; j++ {
+				w.Update(k, float64((j*31+i)&1023))
+			}
+			var err error
+			dst, err = w.QuantilesInto(k, dst[:0], phis)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(2000, func() {
+		k := keys[i&15]
+		w.Update(k, float64(i&1023))
+		var err error
+		dst, err = w.QuantilesInto(k, dst[:0], phis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}); avg != 0 {
+		t.Fatalf("windowed Update+QuantilesInto allocates %v allocs/op", avg)
+	}
+	// Rotation itself must also be allocation-free once warm: advance the
+	// epoch every iteration.
+	ep := int64(12)
+	if avg := testing.AllocsPerRun(200, func() {
+		clk.set(time.Duration(ep) * time.Second)
+		ep++
+		for j := 0; j < 64; j++ {
+			w.Update(keys[0], float64(j))
+		}
+	}); avg != 0 {
+		t.Fatalf("windowed rotation allocates %v allocs/op", avg)
+	}
+}

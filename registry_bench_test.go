@@ -1,0 +1,174 @@
+package req
+
+// Registry benchmark suite: the keyed hot paths (Update, Quantile, churn
+// under a capacity cap, windowed update+query, bulk export). The full-scale
+// versions with 1M/4M-key populations and an A/B against a naive
+// map[string]*Float64 live in `reqbench -registry` (BENCH_pr9.json); these
+// targets keep the steady-state cost profile under CI's bench smoke.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// benchRegistryKeys returns n distinct key names, preallocated so key
+// formatting never lands inside a timed loop.
+func benchRegistryKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("tenant-%05d", i)
+	}
+	return keys
+}
+
+func BenchmarkRegistryUpdate(b *testing.B) {
+	keys := benchRegistryKeys(1 << 10)
+	vals := benchValues(1<<16, 1)
+	reg, err := NewRegistryFloat64(WithEpsilon(0.01), WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, k := range keys { // resident population before timing
+		reg.Update(k, vals[i&(1<<16-1)])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg.Update(keys[i&(1<<10-1)], vals[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkRegistryQuantile(b *testing.B) {
+	keys := benchRegistryKeys(1 << 8)
+	vals := benchValues(1<<16, 2)
+	reg, err := NewRegistryFloat64(WithEpsilon(0.01), WithSeed(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1<<14; i++ {
+		reg.Update(keys[i&(1<<8-1)], vals[i&(1<<16-1)])
+	}
+	for _, k := range keys { // freeze every view before timing
+		if _, err := reg.Quantile(k, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.Quantile(keys[i&(1<<8-1)], 0.99); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRegistryChurn(b *testing.B) {
+	const cap = 1 << 8
+	keys := benchRegistryKeys(1 << 12) // 16x the cap: every pass evicts
+	vals := benchValues(1<<16, 3)
+	var now int64
+	reg, err := NewRegistryFloat64(
+		WithEpsilon(0.01), WithSeed(3),
+		WithMaxEntries(cap),
+		WithTTL(time.Second),
+		WithClock(func() int64 { return now }),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, k := range keys { // one warm sweep grows every freelist
+		reg.Update(k, vals[i&(1<<16-1)])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg.Update(keys[i&(1<<12-1)], vals[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkWindowedRegistryUpdate(b *testing.B) {
+	keys := benchRegistryKeys(1 << 8)
+	vals := benchValues(1<<16, 4)
+	var now int64
+	reg, err := NewWindowedRegistryFloat64(
+		WithEpsilon(0.01), WithSeed(4),
+		WithWindow(8, time.Second),
+		WithClock(func() int64 { return now }),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for ep := 0; ep < 16; ep++ { // warm through two full ring laps
+		now = int64(ep) * int64(time.Second)
+		for i, k := range keys {
+			reg.Update(k, vals[(ep+i)&(1<<16-1)])
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i&(1<<12-1) == 0 {
+			now += int64(time.Second) // rotation stays on the timed path
+		}
+		reg.Update(keys[i&(1<<8-1)], vals[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkWindowedRegistryQuery(b *testing.B) {
+	keys := benchRegistryKeys(1 << 8)
+	vals := benchValues(1<<16, 5)
+	var now int64
+	reg, err := NewWindowedRegistryFloat64(
+		WithEpsilon(0.01), WithSeed(5),
+		WithWindow(8, time.Second),
+		WithClock(func() int64 { return now }),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	phis := []float64{0.5, 0.99}
+	dst := make([]float64, 0, len(phis))
+	for ep := 0; ep < 16; ep++ {
+		now = int64(ep) * int64(time.Second)
+		for i, k := range keys {
+			reg.Update(k, vals[(ep+i)&(1<<16-1)])
+		}
+	}
+	for _, k := range keys { // grow every per-shard merge stage
+		if _, err := reg.QuantilesInto(k, dst, phis); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.QuantilesInto(keys[i&(1<<8-1)], dst, phis); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRegistryExport(b *testing.B) {
+	keys := benchRegistryKeys(1 << 10)
+	vals := benchValues(1<<16, 6)
+	reg, err := NewRegistryFloat64(WithEpsilon(0.01), WithSeed(6))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1<<16; i++ {
+		reg.Update(keys[i&(1<<10-1)], vals[i])
+	}
+	blob, err := reg.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(blob)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.MarshalBinary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package req
+
+import (
+	"fmt"
+
+	"req/internal/core"
+	"req/internal/snapstore"
+)
+
+// Registry persistence: a whole registry saved as one snapstore
+// generation, restored as a RegistrySnapshot.
+//
+// The slab format's five sections are shaped for a single frozen coreset,
+// not a keyed sequence, so a registry file packs its blob differently:
+// the 16-byte registry header (see registryserde.go) rides as the
+// application header, the keyed records stream across the five sections
+// in file order (each filled to the exact length the format demands for
+// the chosen packing count, zero-padded at the tail), and the header's
+// IdxTotal field records the true record-stream length. Everything else —
+// generation rotation, write-temp → fsync → rename crash safety, CRC32C
+// per section, torn-write detection, OpenLatest recovery — is inherited
+// from snapstore unchanged. A registry file and a single-snapshot file
+// are mutually rejecting: each decoder validates its own application-
+// header magic ("RREG" vs "REQ1") before touching a section byte.
+//
+// Restoring decodes every per-key record into heap-backed snapshots (a
+// keyed sequence of varint-weighted records cannot alias the mapping the
+// way a single coreset's parallel arrays can), so OpenRegistry* is O(total
+// retained items) — the zero-copy property belongs to the single-snapshot
+// path. Every record is structurally validated during decode regardless
+// of VerifyMode; the mode only tunes snapstore's section checksumming.
+
+// packBytesPerCount is how many payload bytes one unit of packing count
+// buys: sections 0–1 carry 8 bytes each, sections 2–4 carry 8(C+1).
+const packBytesPerCount = 40
+
+// registryPayload packs a registry blob (header + records) into a slab
+// payload: the packing count is the smallest C whose section capacity
+// 40C+24 holds the record stream.
+func registryPayload(blob []byte) *snapstore.Payload {
+	app := blob[:registryHeaderSize]
+	records := blob[registryHeaderSize:]
+	l := uint64(len(records))
+	p := &snapstore.Payload{App: app, IdxTotal: l}
+	if l == 0 {
+		return p
+	}
+	c := (l + packBytesPerCount - 1) / packBytesPerCount
+	p.Count = c
+	lens := [snapstore.NumSections]uint64{8 * c, 8 * c, 8 * (c + 1), 8 * (c + 1), 8 * (c + 1)}
+	off := uint64(0)
+	for i, n := range lens {
+		sec := make([]byte, n)
+		if off < l {
+			copy(sec, records[off:])
+		}
+		off += n
+		p.Sections[i] = sec
+	}
+	return p
+}
+
+// registryRecords reassembles the record stream from an opened registry
+// file's sections, rejecting a length field that exceeds the sections'
+// actual capacity.
+func registryRecords(file *snapstore.File) ([]byte, error) {
+	l := file.Header.IdxTotal
+	var total uint64
+	for i := 0; i < snapstore.NumSections; i++ {
+		total += uint64(len(file.Section(i)))
+	}
+	if l > total {
+		return nil, fmt.Errorf("%w: %w: record stream length %d exceeds %d section bytes",
+			ErrCorrupt, snapstore.ErrCorrupt, l, total)
+	}
+	records := make([]byte, 0, l)
+	for i := 0; i < snapstore.NumSections && uint64(len(records)) < l; i++ {
+		records = append(records, file.Section(i)...)
+	}
+	return records[:l], nil
+}
+
+// saveRegistryBlob packs and durably writes a registry blob as the next
+// generation in dir.
+func saveRegistryBlob(blob []byte, dir string) (uint64, error) {
+	return snapstore.NewStore(snapstore.OS, dir).Save(registryPayload(blob))
+}
+
+// openRegistryFile bridges an opened slab file to a decoded registry
+// snapshot collection. The file is fully consumed and closed before
+// returning.
+func openRegistryFile[K comparable, T any](
+	file *snapstore.File,
+	less func(a, b T) bool,
+	kc keyCodec[K], ic itemCodec[T],
+) (*RegistrySnapshot[K, T], error) {
+	defer file.Close()
+	hdr := reader{buf: file.Header.App}
+	keyCount, err := decodeRegistryHeader(&hdr, kc.tag, ic.tag)
+	if err != nil {
+		return nil, fmt.Errorf("%w: application header: %w", snapstore.ErrCorrupt, err)
+	}
+	if hdr.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %w: %d trailing application header bytes",
+			ErrCorrupt, snapstore.ErrCorrupt, hdr.remaining())
+	}
+	records, err := registryRecords(file)
+	if err != nil {
+		return nil, err
+	}
+	r := reader{buf: records}
+	m, err := decodeRegistryRecords(&r, keyCount, less, kc, ic)
+	if err != nil {
+		return nil, err
+	}
+	return &RegistrySnapshot[K, T]{m: m, gen: file.Header.Gen}, nil
+}
+
+// SaveRegistry captures every resident key's coreset and durably writes
+// the collection as the next generation in the snapshot directory dir
+// (created if missing), returning the generation number. The write is
+// atomic under crashes exactly like Snapshot.SaveSnapshot: a reader sees
+// either the previous generations or the new one, never a torn file. The
+// capture is shard-by-shard consistent (each shard's keys freeze under
+// that shard's lock); pause writers for a globally atomic cut.
+func (r *RegistryFloat64) SaveRegistry(dir string) (uint64, error) {
+	blob, _ := r.MarshalBinary()
+	return saveRegistryBlob(blob, dir)
+}
+
+// WriteRegistryFile durably writes the registry capture as a single
+// standalone file at path, outside any generation rotation. Open it with
+// OpenRegistryFileFloat64.
+func (r *RegistryFloat64) WriteRegistryFile(path string) error {
+	blob, _ := r.MarshalBinary()
+	return snapstore.WriteSnapshotFile(snapstore.OS, path, 1, registryPayload(blob))
+}
+
+// SaveRegistry durably writes the registry as the next generation in dir;
+// see RegistryFloat64.SaveRegistry.
+func (r *RegistryUint64) SaveRegistry(dir string) (uint64, error) {
+	blob, _ := r.MarshalBinary()
+	return saveRegistryBlob(blob, dir)
+}
+
+// WriteRegistryFile durably writes the registry capture as a single
+// standalone file at path; see RegistryFloat64.WriteRegistryFile.
+func (r *RegistryUint64) WriteRegistryFile(path string) error {
+	blob, _ := r.MarshalBinary()
+	return snapstore.WriteSnapshotFile(snapstore.OS, path, 1, registryPayload(blob))
+}
+
+// OpenRegistryFloat64 opens the newest valid generation in the registry
+// snapshot directory dir as an immutable keyed snapshot collection,
+// skipping torn or corrupt generations (crash recovery). It returns
+// ErrNoSnapshot when the directory holds no generations, and an error
+// wrapping ErrCorrupt when generations exist but none validates.
+func OpenRegistryFloat64(dir string, opts ...OpenOption) (*RegistrySnapshotFloat64, error) {
+	_, so := resolveOpen(opts)
+	file, err := snapstore.NewStore(snapstore.OS, dir).OpenLatest(so)
+	if err != nil {
+		return nil, wrapOpenErr(err)
+	}
+	return openRegistryFile(file, core.LessF64, stringKeyCodec, float64Codec)
+}
+
+// OpenRegistryUint64 is OpenRegistryFloat64 for uint64-keyed registries.
+func OpenRegistryUint64(dir string, opts ...OpenOption) (*RegistrySnapshotUint64, error) {
+	_, so := resolveOpen(opts)
+	file, err := snapstore.NewStore(snapstore.OS, dir).OpenLatest(so)
+	if err != nil {
+		return nil, wrapOpenErr(err)
+	}
+	return openRegistryFile(file, core.LessU64, uint64KeyCodec, uint64Codec)
+}
+
+// OpenRegistryFileFloat64 opens one registry file (a generation file or a
+// WriteRegistryFile product) as an immutable keyed snapshot collection.
+// Torn or corrupt files are rejected with ErrTornWrite / ErrCorrupt; the
+// call never panics on hostile input.
+func OpenRegistryFileFloat64(path string, opts ...OpenOption) (*RegistrySnapshotFloat64, error) {
+	_, so := resolveOpen(opts)
+	file, err := snapstore.OpenFile(snapstore.OS, path, so)
+	if err != nil {
+		return nil, wrapOpenErr(err)
+	}
+	return openRegistryFile(file, core.LessF64, stringKeyCodec, float64Codec)
+}
+
+// OpenRegistryFileUint64 is OpenRegistryFileFloat64 for uint64-keyed
+// registries.
+func OpenRegistryFileUint64(path string, opts ...OpenOption) (*RegistrySnapshotUint64, error) {
+	_, so := resolveOpen(opts)
+	file, err := snapstore.OpenFile(snapstore.OS, path, so)
+	if err != nil {
+		return nil, wrapOpenErr(err)
+	}
+	return openRegistryFile(file, core.LessU64, uint64KeyCodec, uint64Codec)
+}

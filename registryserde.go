@@ -1,0 +1,302 @@
+package req
+
+import (
+	"encoding/binary"
+	"fmt"
+	"iter"
+
+	"req/internal/core"
+)
+
+// Binary serialization for registries. A registry encodes as a keyed
+// sequence of the package's snapshot records — each key's queryable
+// coreset, exactly what SnapshotFloat64.MarshalBinary writes for a single
+// sketch — under its own header, so a saved registry restores as a
+// RegistrySnapshot whose per-key answers are bit-identical to the live
+// registry's frozen answers at capture time. The encoding is query-only:
+// like a snapshot record (and unlike a full sketch record) it carries no
+// mutable sketch state, because a registry export is a fleet of read
+// replicas, not a migration. All integers are little-endian.
+//
+// Layout:
+//
+//	magic    [4]byte  "RREG"
+//	version  uint8    (1)
+//	keyTag   uint8    key type (0 uint64, 1 string)
+//	itemTag  uint8    item type (0 float64, 1 uint64)
+//	flags    uint8    (reserved, 0)
+//	keyCount uint64
+//
+// then keyCount times:
+//
+//	key      uint64 (keyTag 0) | uvarint length + bytes (keyTag 1)
+//	recLen   uvarint
+//	record   recLen bytes: one snapshot record (see serde.go)
+//
+// Decoders validate structurally and reject hostile or truncated input
+// with ErrCorrupt; they never panic.
+var registryMagic = [4]byte{'R', 'R', 'E', 'G'}
+
+const registryFormatVersion = 1
+
+// Key type tags used in the registry header.
+const (
+	keyUint64 = 0
+	keyString = 1
+)
+
+// maxDecodedKeyLen caps one string key's length while decoding untrusted
+// bytes; no sane tenant key approaches it.
+const maxDecodedKeyLen = 1 << 20
+
+// registryHeaderSize is the fixed prefix before the keyed records.
+const registryHeaderSize = 4 + 4 + 8
+
+// keyCodec serializes one registry key type.
+type keyCodec[K comparable] struct {
+	tag byte
+	put func(out []byte, k K) []byte
+	get func(r *reader) (K, bool)
+}
+
+var stringKeyCodec = keyCodec[string]{
+	tag: keyString,
+	put: func(out []byte, k string) []byte {
+		out = binary.AppendUvarint(out, uint64(len(k)))
+		return append(out, k...)
+	},
+	get: func(r *reader) (string, bool) {
+		n, ok := r.uvarint()
+		if !ok || n > maxDecodedKeyLen || uint64(r.remaining()) < n {
+			return "", false
+		}
+		k := string(r.buf[r.off : r.off+int(n)])
+		r.off += int(n)
+		return k, true
+	},
+}
+
+var uint64KeyCodec = keyCodec[uint64]{
+	tag: keyUint64,
+	put: func(out []byte, k uint64) []byte {
+		return binary.LittleEndian.AppendUint64(out, k)
+	},
+	get: func(r *reader) (uint64, bool) {
+		return r.u64()
+	},
+}
+
+// appendRegistryHeader appends the fixed registry prefix with the given
+// key count (encodeRegistry patches the count in after the walk).
+func appendRegistryHeader(out []byte, keyTag, itemTag byte, keyCount uint64) []byte {
+	out = append(out, registryMagic[:]...)
+	out = append(out, registryFormatVersion, keyTag, itemTag, 0)
+	return binary.LittleEndian.AppendUint64(out, keyCount)
+}
+
+// encodeRegistry walks the registry's resident keys (shard by shard, each
+// shard consistent under its lock) and encodes every key's coreset as one
+// snapshot record. The walk freezes each sketch in place and marshals it
+// while the shard lock is held, so the record is an exact capture; keys
+// updated on other shards during the walk land in whichever state the
+// walk finds them.
+func encodeRegistry[K comparable, T any](r *Registry[K, T], kc keyCodec[K], ic itemCodec[T]) []byte {
+	out := appendRegistryHeader(make([]byte, 0, 1<<12), kc.tag, ic.tag, 0)
+	var count uint64
+	r.Visit(func(key K, s *Sketch[T]) bool {
+		out = kc.put(out, key)
+		f := s.core.FreezeShared()
+		out = binary.AppendUvarint(out, uint64(frozenRecordLen(f, ic)))
+		out = appendFrozenRecord(out, f, ic)
+		count++
+		return true
+	})
+	binary.LittleEndian.PutUint64(out[8:], count)
+	return out
+}
+
+// frozenRecordLen returns the exact encoded length of a frozen coreset's
+// snapshot record: the fixed prefix (4 magic + 5 one-byte fields + 3
+// float64 params + fixedK u32 + seed/n/n0 u64 + min/max + size u32) plus
+// fixed-width items plus the varint weights.
+func frozenRecordLen[T any](f *core.Frozen[T], ic itemCodec[T]) int {
+	n := 65 + ic.width*2 + ic.width*f.Size()
+	for i := 0; i < f.Size(); i++ {
+		n += uvarintLen(f.Weight(i))
+	}
+	return n
+}
+
+// uvarintLen returns the encoded length of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// decodeRegistryHeader validates the fixed registry prefix.
+func decodeRegistryHeader(r *reader, keyTag, itemTag byte) (keyCount uint64, err error) {
+	var m [4]byte
+	if !r.bytes(m[:]) || m != registryMagic {
+		return 0, fmt.Errorf("%w: bad registry magic", ErrCorrupt)
+	}
+	version, ok := r.u8()
+	if !ok || version != registryFormatVersion {
+		return 0, fmt.Errorf("%w: unsupported registry version %d", ErrCorrupt, version)
+	}
+	kt, ok1 := r.u8()
+	it, ok2 := r.u8()
+	fl, ok3 := r.u8()
+	if !ok1 || !ok2 || !ok3 {
+		return 0, fmt.Errorf("%w: truncated registry header", ErrCorrupt)
+	}
+	if kt != keyTag {
+		return 0, fmt.Errorf("%w: key type %d does not match the decoder's key type", ErrCorrupt, kt)
+	}
+	if it != itemTag {
+		return 0, fmt.Errorf("%w: item type %d does not match the decoder's item type", ErrCorrupt, it)
+	}
+	if fl != 0 {
+		return 0, fmt.Errorf("%w: unknown registry flags %#x", ErrCorrupt, fl)
+	}
+	keyCount, ok = r.u64()
+	if !ok {
+		return 0, fmt.Errorf("%w: truncated registry header", ErrCorrupt)
+	}
+	return keyCount, nil
+}
+
+// decodeRegistryRecords decodes keyCount keyed snapshot records from r.
+func decodeRegistryRecords[K comparable, T any](
+	r *reader, keyCount uint64,
+	less func(a, b T) bool,
+	kc keyCodec[K], ic itemCodec[T],
+) (map[K]*Snapshot[T], error) {
+	// Each key costs at least two bytes (key byte + record length), so a
+	// keyCount beyond the remaining payload is structurally impossible —
+	// reject before sizing anything by it.
+	if keyCount > uint64(r.remaining()) {
+		return nil, fmt.Errorf("%w: key count %d exceeds payload", ErrCorrupt, keyCount)
+	}
+	m := make(map[K]*Snapshot[T], keyCount)
+	for i := uint64(0); i < keyCount; i++ {
+		key, ok := kc.get(r)
+		if !ok {
+			return nil, fmt.Errorf("%w: key %d truncated", ErrCorrupt, i)
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("%w: duplicate key at record %d", ErrCorrupt, i)
+		}
+		recLen, ok := r.uvarint()
+		if !ok || recLen > uint64(r.remaining()) {
+			return nil, fmt.Errorf("%w: record %d length", ErrCorrupt, i)
+		}
+		f, err := unmarshalFrozen(r.buf[r.off:r.off+int(recLen)], less, ic)
+		if err != nil {
+			return nil, fmt.Errorf("record %d: %w", i, err)
+		}
+		r.off += int(recLen)
+		m[key] = &Snapshot[T]{f: f}
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.remaining())
+	}
+	return m, nil
+}
+
+// decodeRegistry decodes a full registry blob (header + records).
+func decodeRegistry[K comparable, T any](
+	data []byte,
+	less func(a, b T) bool,
+	kc keyCodec[K], ic itemCodec[T],
+) (*RegistrySnapshot[K, T], error) {
+	r := reader{buf: data}
+	keyCount, err := decodeRegistryHeader(&r, kc.tag, ic.tag)
+	if err != nil {
+		return nil, err
+	}
+	m, err := decodeRegistryRecords(&r, keyCount, less, kc, ic)
+	if err != nil {
+		return nil, err
+	}
+	return &RegistrySnapshot[K, T]{m: m}, nil
+}
+
+// RegistrySnapshot is an immutable keyed collection of Snapshots: the
+// decoded form of a serialized registry. Each key's snapshot answers
+// exactly what the live registry's sketch answered at capture time; the
+// collection as a whole is safe for any number of concurrent readers.
+type RegistrySnapshot[K comparable, T any] struct {
+	m   map[K]*Snapshot[T]
+	gen uint64
+}
+
+// RegistrySnapshotFloat64 is the string-keyed float64 instantiation of
+// RegistrySnapshot, as restored by UnmarshalRegistryFloat64 and
+// OpenRegistryFloat64.
+type RegistrySnapshotFloat64 = RegistrySnapshot[string, float64]
+
+// RegistrySnapshotUint64 is the uint64-keyed instantiation of
+// RegistrySnapshot, as restored by UnmarshalRegistryUint64 and
+// OpenRegistryUint64.
+type RegistrySnapshotUint64 = RegistrySnapshot[uint64, uint64]
+
+// Get returns key's snapshot, or ok=false when the capture held no such
+// key.
+func (rs *RegistrySnapshot[K, T]) Get(key K) (*Snapshot[T], bool) {
+	sn, ok := rs.m[key]
+	return sn, ok
+}
+
+// Len returns the number of keys captured.
+func (rs *RegistrySnapshot[K, T]) Len() int { return len(rs.m) }
+
+// Generation returns the snapstore generation the collection was restored
+// from (0 when decoded from raw bytes rather than a generation file).
+func (rs *RegistrySnapshot[K, T]) Generation() uint64 { return rs.gen }
+
+// All iterates every (key, snapshot) pair in unspecified order.
+func (rs *RegistrySnapshot[K, T]) All() iter.Seq2[K, *Snapshot[T]] {
+	return func(yield func(K, *Snapshot[T]) bool) {
+		for k, sn := range rs.m {
+			if !yield(k, sn) {
+				return
+			}
+		}
+	}
+}
+
+// String returns a short human-readable summary.
+func (rs *RegistrySnapshot[K, T]) String() string {
+	return fmt.Sprintf("req.RegistrySnapshot{keys=%d, gen=%d}", rs.Len(), rs.gen)
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler: every resident key's
+// coreset as a keyed snapshot record (see the package format comment
+// above). The walk captures shard by shard under each shard's lock.
+func (r *RegistryFloat64) MarshalBinary() ([]byte, error) {
+	return encodeRegistry(&r.Registry, stringKeyCodec, float64Codec), nil
+}
+
+// UnmarshalRegistryFloat64 decodes bytes produced by
+// RegistryFloat64.MarshalBinary into an immutable keyed snapshot
+// collection. Corrupt input returns ErrCorrupt (wrapped with detail); it
+// never panics.
+func UnmarshalRegistryFloat64(data []byte) (*RegistrySnapshotFloat64, error) {
+	return decodeRegistry(data, core.LessF64, stringKeyCodec, float64Codec)
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler; see
+// RegistryFloat64.MarshalBinary.
+func (r *RegistryUint64) MarshalBinary() ([]byte, error) {
+	return encodeRegistry(&r.Registry, uint64KeyCodec, uint64Codec), nil
+}
+
+// UnmarshalRegistryUint64 decodes bytes produced by
+// RegistryUint64.MarshalBinary; see UnmarshalRegistryFloat64.
+func UnmarshalRegistryUint64(data []byte) (*RegistrySnapshotUint64, error) {
+	return decodeRegistry(data, core.LessU64, uint64KeyCodec, uint64Codec)
+}

@@ -559,17 +559,30 @@ func decodeSnapshotPrefix[T any](r *reader, codec itemCodec[T]) (cfg core.Config
 	return cfg, hasMinMax, n, mn, mx, nil
 }
 
-// marshalFrozen encodes a frozen coreset as a snapshot record.
-func marshalFrozen[T any](f *core.Frozen[T], codec itemCodec[T]) ([]byte, error) {
+// appendFrozenRecord appends a frozen coreset's snapshot record — header,
+// item count, items, varint weights — to out. It is the append-style core
+// of marshalFrozen, shared with the registry encoding, which streams many
+// per-key records into one growing buffer.
+func appendFrozenRecord[T any](out []byte, f *core.Frozen[T], codec itemCodec[T]) []byte {
 	items := f.Items()
-	size := 4 + 2 + 4 + 8*3 + 4 + 8*3 + 8*2 + 4 + 10*len(items)
-	out := appendSnapshotHeader(make([]byte, 0, size), f, codec)
+	out = appendSnapshotHeader(out, f, codec)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(items)))
 	out = codec.putAll(out, items)
 	for i := range items {
 		out = binary.AppendUvarint(out, f.Weight(i))
 	}
-	return out, nil
+	return out
+}
+
+// frozenRecordCap upper-bounds the encoded size of a frozen coreset's
+// snapshot record (weights are varints, at most 10 bytes each).
+func frozenRecordCap(retained int) int {
+	return 4 + 2 + 4 + 8*3 + 4 + 8*3 + 8*2 + 4 + 18*retained
+}
+
+// marshalFrozen encodes a frozen coreset as a snapshot record.
+func marshalFrozen[T any](f *core.Frozen[T], codec itemCodec[T]) ([]byte, error) {
+	return appendFrozenRecord(make([]byte, 0, frozenRecordCap(f.Size())), f, codec), nil
 }
 
 // unmarshalFrozen decodes a snapshot record into a frozen coreset. It

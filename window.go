@@ -1,0 +1,352 @@
+package req
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"req/internal/core"
+	"req/internal/tenant"
+)
+
+// WindowedRegistry is a Registry whose per-key answers cover only a
+// trailing time window: each key owns a ring of WithWindow-configured
+// sketch slots, updates land in the slot owning the current epoch, and
+// queries merge the live slots — the current partial slot plus the sealed
+// ones still inside the window — through the sketch's mergeability
+// guarantee (Theorem 3), so a windowed answer carries the same relative-
+// error budget as a single sketch over the same items. This is the
+// monitoring shape: per-endpoint p99 over the last N minutes, keys
+// appearing and expiring as traffic shifts.
+//
+// # Rotation
+//
+// Time divides into fixed epochs of WithWindow's slot duration; slot
+// i = epoch mod slots owns epoch's items. Rotation is lazy — the first
+// update of a new epoch resets the ring slot it lands in (recycling the
+// slot's storage) — so idle keys cost nothing to rotate and a clock that
+// jumps several epochs simply leaves stale slots behind, which queries
+// exclude by epoch tag. A query sees between (slots−1)·slot and
+// slots·slot of trailing stream time depending on the phase of the
+// current epoch.
+//
+// # Query path
+//
+// Queries copy the oldest live slot into a per-shard stage sketch
+// (storage recycled across queries, per-shard so queries on different
+// shards don't contend) and merge the remaining live slots in, then
+// answer from the stage. Steady-state windowed queries therefore allocate
+// nothing. The merged answer is only valid under the shard lock, so each
+// query re-merges; batch the ranks you need into one QuantilesInto call
+// rather than querying phi by phi.
+//
+// Eviction, sharding, clocking and concurrency are the Registry's; see
+// WithTTL, WithMaxEntries, WithShards, WithClock.
+type WindowedRegistry[K comparable, T any] struct {
+	m    *tenant.Map[K, winEntry[T]]
+	less func(a, b T) bool
+	cfg  core.Config
+	now  func() int64
+
+	slots     int
+	slotNanos int64
+}
+
+// winEntry is the arena payload of one windowed key: the slot ring and
+// the epoch tag of each slot (−1 = never written).
+type winEntry[T any] struct {
+	ring   []core.Sketch[T]
+	epochs []int64
+}
+
+// NewWindowedRegistry returns an empty windowed registry over the strict
+// order less. WithWindow is required — it shapes the ring every key
+// carries; the remaining options behave as in NewRegistry.
+func NewWindowedRegistry[K comparable, T any](less func(a, b T) bool, opts ...Option) (*WindowedRegistry[K, T], error) {
+	if less == nil {
+		return nil, errors.New("req: nil less function")
+	}
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	if cfg.WindowSlots == 0 {
+		return nil, errors.New("req: a WindowedRegistry requires WithWindow")
+	}
+	w := &WindowedRegistry[K, T]{
+		less:      less,
+		cfg:       cfg,
+		now:       registryClock(cfg),
+		slots:     cfg.WindowSlots,
+		slotNanos: cfg.SlotNanos,
+	}
+	slots := w.slots
+	w.m = tenant.NewMap[K, winEntry[T]](tenantConfig(cfg),
+		func(e *winEntry[T], seq uint64) {
+			e.ring = make([]core.Sketch[T], slots)
+			e.epochs = make([]int64, slots)
+			for i := range e.ring {
+				// Init cannot fail: cfg was validated above, less is
+				// non-nil. Each (key, slot) pair gets its own seed stream.
+				_ = e.ring[i].Init(less, seedCfg(cfg, seq*uint64(slots)+uint64(i)))
+				e.epochs[i] = -1
+			}
+		},
+		func(e *winEntry[T]) {
+			for i := range e.ring {
+				e.ring[i].Reset()
+				e.epochs[i] = -1
+			}
+		},
+	)
+	return w, nil
+}
+
+// epoch returns the epoch number owning caller-clock time now.
+func (w *WindowedRegistry[K, T]) epoch(now int64) int64 { return now / w.slotNanos }
+
+// Update inserts one item into key's current window slot, creating the
+// key's ring on first update and rotating (resetting) the slot if it
+// still holds an expired epoch.
+func (w *WindowedRegistry[K, T]) Update(key K, item T) {
+	now := w.now()
+	ep := w.epoch(now)
+	sh := w.m.Lock(key)
+	e, _ := w.m.GetOrCreate(sh, key, now)
+	sk := w.rotate(e, ep)
+	sk.Update(item)
+	sh.Unlock()
+}
+
+// UpdateBatch inserts every item of the slice into key's current window
+// slot through the batch ingest path. The slice is only read.
+func (w *WindowedRegistry[K, T]) UpdateBatch(key K, items []T) {
+	if len(items) == 0 {
+		return
+	}
+	now := w.now()
+	ep := w.epoch(now)
+	sh := w.m.Lock(key)
+	e, _ := w.m.GetOrCreate(sh, key, now)
+	sk := w.rotate(e, ep)
+	sk.UpdateBatch(items)
+	sh.Unlock()
+}
+
+// rotate returns the ring slot owning epoch ep, resetting it first if its
+// tag is stale (lazy rotation).
+func (w *WindowedRegistry[K, T]) rotate(e *winEntry[T], ep int64) *core.Sketch[T] {
+	i := int(ep % int64(w.slots))
+	if e.epochs[i] != ep {
+		e.ring[i].Reset()
+		e.epochs[i] = ep
+	}
+	return &e.ring[i]
+}
+
+// live reports whether slot i's epoch tag falls inside the window ending
+// at epoch ep.
+func (w *WindowedRegistry[K, T]) live(e *winEntry[T], i int, ep int64) bool {
+	return e.epochs[i] >= 0 && ep-e.epochs[i] < int64(w.slots)
+}
+
+// stage returns the shard's reusable merge stage, creating it on the
+// shard's first windowed query.
+//
+// +req:locksRequired(sh.mu)
+func (w *WindowedRegistry[K, T]) stage(sh *tenant.Shard[K, winEntry[T]]) *core.Sketch[T] {
+	if sh.Aux == nil {
+		st := new(core.Sketch[T])
+		_ = st.Init(w.less, w.cfg)
+		sh.Aux = st
+	}
+	return sh.Aux.(*core.Sketch[T])
+}
+
+// merged locks key's shard and merges its live slots into the shard
+// stage, returning the stage. ok is false when the key is absent (the
+// shard is still locked). An empty window returns an empty stage.
+//
+// +req:locksAcquired(return1.mu)
+func (w *WindowedRegistry[K, T]) merged(key K) (*tenant.Shard[K, winEntry[T]], *core.Sketch[T], bool) {
+	now := w.now()
+	ep := w.epoch(now)
+	sh := w.m.Lock(key)
+	e := w.m.Get(sh, key, now)
+	if e == nil {
+		return sh, nil, false
+	}
+	st := w.stage(sh)
+	// Seed the stage by deep-copying the tallest live slot into its
+	// recycled storage, then merge the remaining live slots in. Copying
+	// the tallest first keeps every Merge on its in-place path: merging a
+	// taller source into a shorter target deep-copies the source, and an
+	// empty target adopts a clone — both would allocate on every query.
+	tallest := -1
+	for i := range e.ring {
+		if w.live(e, i, ep) && (tallest < 0 || e.ring[i].NumLevels() > e.ring[tallest].NumLevels()) {
+			tallest = i
+		}
+	}
+	if tallest < 0 {
+		st.Reset()
+		return sh, st, true
+	}
+	st.CopyFrom(&e.ring[tallest])
+	for i := range e.ring {
+		if i != tallest && w.live(e, i, ep) {
+			// Same-config merge into a distinct sketch cannot fail.
+			_ = st.Merge(&e.ring[i])
+		}
+	}
+	return sh, st, true
+}
+
+// Quantile returns the item at normalized rank phi over key's trailing
+// window; see Sketch.Quantile. It returns ErrNoKey when the key is absent
+// and ErrEmpty when the key's window holds no items.
+func (w *WindowedRegistry[K, T]) Quantile(key K, phi float64) (T, error) {
+	sh, st, ok := w.merged(key)
+	defer sh.Unlock()
+	if !ok {
+		var zero T
+		return zero, ErrNoKey
+	}
+	return st.Quantile(phi)
+}
+
+// QuantilesInto answers every normalized rank in phis over key's trailing
+// window with a single merge, writing into dst (grown as needed); see
+// Sketch.QuantilesInto. It returns ErrNoKey when the key is absent. This
+// is the preferred shape for multi-quantile dashboards: one merge, one
+// sorted pass, all ranks.
+func (w *WindowedRegistry[K, T]) QuantilesInto(key K, dst []T, phis []float64) ([]T, error) {
+	sh, st, ok := w.merged(key)
+	defer sh.Unlock()
+	if !ok {
+		return dst, ErrNoKey
+	}
+	return st.QuantilesInto(dst, phis)
+}
+
+// Rank returns the estimated inclusive rank of y over key's trailing
+// window; see Sketch.Rank. It returns ErrNoKey when the key is absent.
+func (w *WindowedRegistry[K, T]) Rank(key K, y T) (uint64, error) {
+	sh, st, ok := w.merged(key)
+	defer sh.Unlock()
+	if !ok {
+		return 0, ErrNoKey
+	}
+	return st.Rank(y), nil
+}
+
+// Count returns the number of items inside key's trailing window, 0 when
+// the key is absent. Unlike a full merge it only sums slot counts.
+func (w *WindowedRegistry[K, T]) Count(key K) uint64 {
+	now := w.now()
+	ep := w.epoch(now)
+	sh := w.m.Lock(key)
+	defer sh.Unlock()
+	e := w.m.Get(sh, key, now)
+	if e == nil {
+		return 0
+	}
+	var n uint64
+	for i := range e.ring {
+		if w.live(e, i, ep) {
+			n += e.ring[i].Count()
+		}
+	}
+	return n
+}
+
+// Contains reports whether key has a resident, non-expired ring, without
+// refreshing its TTL.
+func (w *WindowedRegistry[K, T]) Contains(key K) bool {
+	now := w.now()
+	sh := w.m.Lock(key)
+	defer sh.Unlock()
+	return w.m.Peek(sh, key, now) != nil
+}
+
+// Delete removes key's ring, recycling its storage. It reports whether
+// the key was resident.
+func (w *WindowedRegistry[K, T]) Delete(key K) bool {
+	sh := w.m.Lock(key)
+	defer sh.Unlock()
+	return w.m.Delete(sh, key)
+}
+
+// Len returns the number of resident keys (see Registry.Len).
+func (w *WindowedRegistry[K, T]) Len() int { return w.m.Len() }
+
+// Evictions returns the total number of entries reclaimed so far.
+func (w *WindowedRegistry[K, T]) Evictions() uint64 { return w.m.Evictions() }
+
+// ExpireNow eagerly reclaims every TTL-expired key; see
+// Registry.ExpireNow.
+func (w *WindowedRegistry[K, T]) ExpireNow() int { return w.m.ExpireNow(w.now()) }
+
+// Reset drops every key (a teardown, not an eviction). Shard merge stages
+// are kept.
+func (w *WindowedRegistry[K, T]) Reset() { w.m.Reset() }
+
+// NumShards returns the registry's shard count.
+func (w *WindowedRegistry[K, T]) NumShards() int { return w.m.NumShards() }
+
+// Slots returns the ring length configured by WithWindow.
+func (w *WindowedRegistry[K, T]) Slots() int { return w.slots }
+
+// SlotDuration returns the epoch length configured by WithWindow.
+func (w *WindowedRegistry[K, T]) SlotDuration() time.Duration {
+	return time.Duration(w.slotNanos)
+}
+
+// WindowDuration returns the full window span: Slots() · SlotDuration().
+// A query covers between WindowDuration()−SlotDuration() and
+// WindowDuration() of trailing stream time depending on epoch phase.
+func (w *WindowedRegistry[K, T]) WindowDuration() time.Duration {
+	return time.Duration(int64(w.slots) * w.slotNanos)
+}
+
+// String returns a short human-readable summary.
+func (w *WindowedRegistry[K, T]) String() string {
+	return fmt.Sprintf("req.WindowedRegistry{keys=%d, shards=%d, window=%d×%s}",
+		w.Len(), w.NumShards(), w.slots, w.SlotDuration())
+}
+
+// WindowedRegistryFloat64 is a windowed registry of float64 sketches
+// keyed by string — per-endpoint latency over a trailing window. It adds
+// NaN filtering on the ingest path.
+type WindowedRegistryFloat64 struct {
+	WindowedRegistry[string, float64]
+}
+
+// NewWindowedRegistryFloat64 returns an empty string-keyed windowed
+// float64 registry configured by opts (WithWindow required). Values
+// compare by the usual < order (the canonical core.LessF64).
+func NewWindowedRegistryFloat64(opts ...Option) (*WindowedRegistryFloat64, error) {
+	w, err := NewWindowedRegistry[string, float64](core.LessF64, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &WindowedRegistryFloat64{WindowedRegistry: *w}, nil
+}
+
+// Update inserts one value into key's current window slot. NaN values
+// are ignored.
+func (w *WindowedRegistryFloat64) Update(key string, v float64) {
+	if v != v { // NaN
+		return
+	}
+	w.WindowedRegistry.Update(key, v)
+}
+
+// UpdateBatch inserts every value of the slice into key's current window
+// slot, skipping NaNs; the slice is copied only if it contains a NaN.
+func (w *WindowedRegistryFloat64) UpdateBatch(key string, vs []float64) {
+	w.WindowedRegistry.UpdateBatch(key, core.FilterNaN(vs))
+}
