@@ -168,6 +168,7 @@ var apiSurfaceGolden = []string{
 	"Float64.Update",
 	"Float64.UpdateAll",
 	"Float64.UpdateBatch",
+	"KV",
 	"MappedFloat64",
 	"MappedSnapshot",
 	"MappedSnapshot.Close",
@@ -213,12 +214,16 @@ var apiSurfaceGolden = []string{
 	"Registry.String",
 	"Registry.Update",
 	"Registry.UpdateBatch",
+	"Registry.UpdateKVs",
+	"Registry.UpdatePairs",
 	"Registry.Visit",
 	"RegistryFloat64",
 	"RegistryFloat64.MarshalBinary",
 	"RegistryFloat64.SaveRegistry",
 	"RegistryFloat64.Update",
 	"RegistryFloat64.UpdateBatch",
+	"RegistryFloat64.UpdateKVs",
+	"RegistryFloat64.UpdatePairs",
 	"RegistryFloat64.WriteRegistryFile",
 	"RegistrySnapshot",
 	"RegistrySnapshot.All",
@@ -365,10 +370,14 @@ var apiSurfaceGolden = []string{
 	"WindowedRegistry.String",
 	"WindowedRegistry.Update",
 	"WindowedRegistry.UpdateBatch",
+	"WindowedRegistry.UpdateKVs",
+	"WindowedRegistry.UpdatePairs",
 	"WindowedRegistry.WindowDuration",
 	"WindowedRegistryFloat64",
 	"WindowedRegistryFloat64.Update",
 	"WindowedRegistryFloat64.UpdateBatch",
+	"WindowedRegistryFloat64.UpdateKVs",
+	"WindowedRegistryFloat64.UpdatePairs",
 	"WithClock",
 	"WithDelta",
 	"WithEpsilon",

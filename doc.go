@@ -161,6 +161,26 @@
 // immutable RegistrySnapshot whose per-key answers are bit-identical to
 // the live registry's frozen answers at capture time.
 //
+// # Batched multi-tenant ingest
+//
+// UpdatePairs (and the []KV front UpdateKVs) ingests a whole (keys,
+// items) batch through a shard-grouped pipeline: one pass hashes every
+// key, a counting sort groups the batch into per-shard runs in reused
+// scratch, and each shard is then locked once per batch — resolving
+// every distinct key's cell once and feeding same-key runs through the
+// sketch's batch kernels. The ordering contract is exactly what
+// mergeability (Theorem 3) makes free: items of the same key are
+// ingested in batch order, items of different keys may interleave
+// differently than a per-op loop, and the distribution — hence every
+// quantile answer — is identical. The whole batch observes one clock
+// reading, and each key is charged one TTL/eviction touch per batch
+// rather than one per item. Steady-state batched ingest is 0 allocs/op
+// (the grouping scratch is pooled and grow-only); batching wins over a
+// per-op Update loop by amortizing lock round-trips, hash/map probes,
+// and kernel entry across the batch — see BENCH_pr10.json for the
+// measured A/B. For NaN hygiene the Float64 fronts drop NaN items
+// pairwise before grouping, matching Update's per-op behavior.
+//
 // WindowedRegistry answers over a trailing time window instead of the
 // whole stream: each key carries a ring of sketch slots rotated lazily on
 // epoch boundaries, and queries merge the live slots through the
@@ -169,7 +189,10 @@
 // a per-shard stage sketch — steady-state windowed queries are also
 // allocation-free. This is the monitoring/SLO shape: per-endpoint p99
 // over the last N minutes with keys appearing and expiring as traffic
-// shifts (see examples/slo and experiment E17).
+// shifts (see examples/slo and experiment E17). Windowed UpdatePairs
+// resolves each key's live ring slot once per run inside the same
+// shard-grouped pipeline, so batched windowed ingest (including lazy
+// rotation on epoch boundaries) matches the per-op path bit-for-bit.
 //
 // # Modes
 //

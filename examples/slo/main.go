@@ -14,6 +14,12 @@
 // deployment's v2 endpoints appear) and shows eviction reclaiming the
 // cold keys while the survivors' answers stay within ε.
 //
+// Ingest is batched the way a real collector would: requests accumulate
+// into a (key, value) buffer and flush through UpdatePairs, which groups
+// the batch by shard and feeds each key's run through the sketch kernels
+// in one lock acquisition per shard — same answers as per-op Update,
+// fewer lock round-trips and cell lookups.
+//
 //	go run ./examples/slo
 package main
 
@@ -34,6 +40,7 @@ const (
 	maxKeys  = 64
 	perTick  = 40_000 // requests per simulated minute
 	simTicks = 10
+	flushAt  = 512 // collector batch size for UpdatePairs
 )
 
 // endpoint is one traffic source: a name, a share of traffic, and a
@@ -68,6 +75,17 @@ func main() {
 	// raw values — pruned as minutes fall out of the window.
 	exact := map[string]map[int][]float64{}
 
+	// Collector buffer: requests batch here and flush through
+	// UpdatePairs (reused across flushes — steady state allocates
+	// nothing).
+	batchKeys := make([]string, 0, flushAt)
+	batchVals := make([]float64, 0, flushAt)
+	flush := func() {
+		reg.UpdatePairs(batchKeys, batchVals)
+		batchKeys = batchKeys[:0]
+		batchVals = batchVals[:0]
+	}
+
 	fmt.Printf("window: %d × %s; TTL %s; capacity %d keys; ε=0.02 (HRA)\n",
 		slots, slotDur, ttl, maxKeys)
 	for tick := 0; tick < simTicks; tick++ {
@@ -88,7 +106,11 @@ func main() {
 		for i := 0; i < perTick; i++ {
 			ep := pick(active, r)
 			v := ep.scale * math.Exp(ep.sigma*r.NormFloat64())
-			reg.Update(ep.name, v)
+			batchKeys = append(batchKeys, ep.name)
+			batchVals = append(batchVals, v)
+			if len(batchKeys) == flushAt {
+				flush()
+			}
 			byTick := exact[ep.name]
 			if byTick == nil {
 				byTick = map[int][]float64{}
@@ -96,6 +118,7 @@ func main() {
 			}
 			byTick[tick] = append(byTick[tick], v)
 		}
+		flush() // drain the partial batch before querying the minute
 
 		// Prune the mirror: drop minutes outside the window and
 		// endpoints the registry evicted.

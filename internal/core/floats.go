@@ -6,6 +6,27 @@ import (
 	"req/internal/vec"
 )
 
+// HasNaN reports whether vs contains a NaN, by the same dispatched scan
+// FilterNaN uses for its all-clean fast path. The pair-filtering ingest
+// fronts use it to decide whether a tandem compaction pass is needed at
+// all.
+func HasNaN(vs []float64) bool { return vec.HasNaN(vs) }
+
+// FilterNaNPairsInto appends onto kdst/vdst every (key, value) pair of
+// (keys, vs) whose value is not NaN, returning the extended slices — the
+// pairwise form of FilterNaN for the batched keyed-ingest path, where
+// dropping a value must drop its key in tandem to keep the arrays parallel.
+// Callers own kdst/vdst (typically pooled scratch) and pass them truncated.
+func FilterNaNPairsInto[K any](kdst []K, vdst []float64, keys []K, vs []float64) ([]K, []float64) {
+	for i, v := range vs {
+		if !math.IsNaN(v) {
+			kdst = append(kdst, keys[i])
+			vdst = append(vdst, v)
+		}
+	}
+	return kdst, vdst
+}
+
 // FilterNaN returns vs without NaN values, copying only when at least one
 // NaN is present (NaN has no place in a total order). It is shared by the
 // public float64 wrappers and the experiment-harness adapter so the

@@ -294,6 +294,39 @@ func (s *Sketch[T]) UpdateBatch(xs []T) {
 	}
 }
 
+// IngestRun feeds one same-key run of a batched keyed ingest into the
+// sketch — the run-ingest hook the registry's UpdatePairs pipeline resolves
+// each distinct key to. A single-item run takes the scalar Update path
+// (batch setup would dominate); longer runs take UpdateBatch so the
+// monomorphic kernels apply. The two are bit-identical for one item, so the
+// choice never changes sketch state.
+func (s *Sketch[T]) IngestRun(run []T) {
+	if len(run) == 1 {
+		s.Update(run[0])
+		return
+	}
+	s.UpdateBatch(run)
+}
+
+// PrefetchHint reads the level-0 append position — the line an Update will
+// write next — and returns what it finds (the zero value on an empty
+// window). The batched keyed pipeline calls this for every resolved cell
+// in its tight resolve loop and stores the result into scratch, forcing
+// the level array and slab lines of many keys to fault in concurrently
+// instead of one dependent chain at a time during ingest. Pure read; no
+// sketch state changes.
+//
+//req:noalloc
+func (s *Sketch[T]) PrefetchHint() T {
+	var hint T
+	if len(s.levels) > 0 {
+		if buf := s.levels[0].buf; len(buf) > 0 {
+			hint = buf[len(buf)-1]
+		}
+	}
+	return hint
+}
+
 // Count returns n, the total weight of items summarised (stream length, or
 // the sum of merged stream lengths).
 func (s *Sketch[T]) Count() uint64 { return s.n }

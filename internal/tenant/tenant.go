@@ -178,6 +178,13 @@ func ceilPow2(n uint64) uint64 {
 // NumShards returns the shard count.
 func (m *Map[K, E]) NumShards() int { return len(m.shards) }
 
+// CopyHashSeed adopts src's key-hash seed, so both maps send every key to
+// the same shard index — the determinism hook differential tests use to
+// compare two identically-fed maps cell for cell (shard assignment drives
+// allocation sequence numbers, and with them any seq-derived payload
+// state). Call it before the first key is inserted.
+func (m *Map[K, E]) CopyHashSeed(src *Map[K, E]) { m.hseed = src.hseed }
+
 // TTL returns the configured idle time-to-live in nanoseconds (0 = none).
 func (m *Map[K, E]) TTL() int64 { return m.ttl }
 

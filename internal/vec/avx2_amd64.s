@@ -159,6 +159,68 @@ ltu64test:
 	MOVQ AX, ret+32(FP)
 	RET
 
+// func cumSumU64Asm(xs []uint64, base uint64)
+//
+// In-place inclusive prefix sum with a running base. Each 4-lane block is
+// prefix-summed in-register (shift/permute ladder: v += v<<64 per 128-bit
+// half, then splat the low half's total across the high half), the running
+// base is added, and the block's last lane becomes the next base. The main
+// loop does two blocks per iteration so the serial base chain is two VPADDQs
+// per 8 elements; the block-total broadcasts hang off the loads, not the
+// chain. Addition mod 2^64 is associative, so this blocking is bit-identical
+// to the scalar left-to-right loop (overflow included).
+TEXT ·cumSumU64Asm(SB), NOSPLIT, $0-32
+	MOVQ         xs_base+0(FP), SI
+	MOVQ         xs_len+8(FP), CX
+	VPBROADCASTQ base+24(FP), Y3 // running base, all lanes
+	XORQ         DX, DX
+	MOVQ         CX, BX
+	ANDQ         $-8, BX
+	JMP          cstest
+
+csloop:
+	VMOVDQU    (SI)(DX*8), Y0   // block0 = [a b c d]
+	VMOVDQU    32(SI)(DX*8), Y1 // block1
+	VPSLLDQ    $8, Y0, Y4       // [0 a | 0 c]
+	VPADDQ     Y4, Y0, Y0       // [a a+b | c c+d]
+	VPERM2I128 $0x08, Y0, Y0, Y4 // [0 0 | a a+b]
+	VPERMQ     $0xF0, Y4, Y4    // [0 0 a+b a+b]
+	VPADDQ     Y4, Y0, Y0       // prefix(block0) = [a a+b a+b+c a+b+c+d]
+	VPSLLDQ    $8, Y1, Y5
+	VPADDQ     Y5, Y1, Y1
+	VPERM2I128 $0x08, Y1, Y1, Y5
+	VPERMQ     $0xF0, Y5, Y5
+	VPADDQ     Y5, Y1, Y1       // prefix(block1)
+	VPERMQ     $0xFF, Y0, Y6    // block0 total, all lanes
+	VPERMQ     $0xFF, Y1, Y7    // block1 total, all lanes
+	VPADDQ     Y3, Y0, Y0       // + running base
+	VMOVDQU    Y0, (SI)(DX*8)
+	VPADDQ     Y6, Y3, Y3       // base += block0 total
+	VPADDQ     Y3, Y1, Y1
+	VMOVDQU    Y1, 32(SI)(DX*8)
+	VPADDQ     Y7, Y3, Y3       // base += block1 total
+	ADDQ       $8, DX
+
+cstest:
+	CMPQ DX, BX
+	JLT  csloop
+	CMPQ DX, CX
+	JGE  csdone
+
+	// one trailing 4-lane block (len is a multiple of 4)
+	VMOVDQU    (SI)(DX*8), Y0
+	VPSLLDQ    $8, Y0, Y4
+	VPADDQ     Y4, Y0, Y0
+	VPERM2I128 $0x08, Y0, Y0, Y4
+	VPERMQ     $0xF0, Y4, Y4
+	VPADDQ     Y4, Y0, Y0
+	VPADDQ     Y3, Y0, Y0
+	VMOVDQU    Y0, (SI)(DX*8)
+
+csdone:
+	VZEROUPPER
+	RET
+
 // func hasNaNAsm(xs []float64) bool
 TEXT ·hasNaNAsm(SB), NOSPLIT, $0-25
 	MOVQ xs_base+0(FP), SI

@@ -199,3 +199,27 @@ func BenchmarkKWayMergeF64(b *testing.B) {
 		}
 	})
 }
+
+func BenchmarkCumSumU64(b *testing.B) {
+	for _, sz := range sizes() {
+		src := make([]uint64, sz.n)
+		for i := range src {
+			src[i] = uint64(i%7) + 1
+		}
+		dst := make([]uint64, sz.n)
+		b.Run("kernel/"+sz.name, func(b *testing.B) {
+			b.SetBytes(int64(8 * sz.n))
+			for i := 0; i < b.N; i++ {
+				copy(dst, src)
+				CumSumU64(dst, 0)
+			}
+		})
+		b.Run("scalar/"+sz.name, func(b *testing.B) {
+			b.SetBytes(int64(8 * sz.n))
+			for i := 0; i < b.N; i++ {
+				copy(dst, src)
+				cumSumPortable(dst, 0)
+			}
+		})
+	}
+}

@@ -7,9 +7,10 @@ package vec
 // importer (internal/core's kernel tables included) observes the final
 // values: vec's init runs before any importing package's.
 //
-// Only the order-insensitive linear scans are dispatched — they are the
-// kernels whose vector semantics provably match Go's scalar comparisons
-// (see the package comment). Everything else is portable-only by design.
+// Only kernels whose vector semantics provably match the scalar loop are
+// dispatched: the order-insensitive linear scans, and the uint64 prefix sum
+// (addition mod 2^64 is associative, so any lane blocking is bit-identical;
+// see cumsum.go). Everything else is portable-only by design.
 
 var (
 	countLEF64 func([]float64, float64) int = scanCountLE[float64]
@@ -17,6 +18,7 @@ var (
 	countLEU64 func([]uint64, uint64) int   = scanCountLE[uint64]
 	countLTU64 func([]uint64, uint64) int   = scanCountLT[uint64]
 	hasNaN     func([]float64) bool         = hasNaNPortable
+	cumSumU64  func([]uint64, uint64)       = cumSumPortable
 
 	// accelName names the live implementation tier for reports and docs.
 	accelName = "portable"
@@ -47,6 +49,12 @@ func CountLTU64(xs []uint64, y uint64) int { return countLTU64(xs, y) }
 //
 //req:noalloc
 func HasNaN(xs []float64) bool { return hasNaN(xs) }
+
+// CumSumU64 rewrites xs in place to its inclusive prefix sums offset by
+// base: xs[i] = base + xs[0] + … + xs[i], with uint64 wraparound.
+//
+//req:noalloc
+func CumSumU64(xs []uint64, base uint64) { cumSumU64(xs, base) }
 
 // Accel returns the live acceleration tier: "avx2" when the assembly
 // kernels are dispatched, "portable" otherwise (non-amd64, the purego build

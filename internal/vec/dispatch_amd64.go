@@ -17,6 +17,7 @@ func init() {
 		countLEU64 = countLEU64AVX2
 		countLTU64 = countLTU64AVX2
 		hasNaN = hasNaNAVX2
+		cumSumU64 = cumSumU64AVX2
 		accelName = "avx2"
 	}
 }
@@ -75,6 +76,19 @@ func hasNaNAVX2(xs []float64) bool {
 	return false
 }
 
+//req:noalloc
+func cumSumU64AVX2(xs []uint64, base uint64) {
+	n := len(xs) &^ 3
+	cumSumU64Asm(xs[:n], base)
+	if n > 0 {
+		base = xs[n-1] // running total after the vector blocks
+	}
+	for i := n; i < len(xs); i++ {
+		base += xs[i]
+		xs[i] = base
+	}
+}
+
 // Assembly kernels (avx2_amd64.s); len(xs) must be a multiple of 4.
 
 //req:noalloc
@@ -91,3 +105,6 @@ func countLTU64Asm(xs []uint64, y uint64) int
 
 //req:noalloc
 func hasNaNAsm(xs []float64) bool
+
+//req:noalloc
+func cumSumU64Asm(xs []uint64, base uint64)

@@ -22,25 +22,30 @@ type KWayCursor[T any] struct {
 // every 8 advances, 16 elements (two cache lines) ahead.
 const prefetchStride = 16
 
-// KWayMerge merges the cursors' buffers ascending into items, accumulating
-// cumulative weights into cum. items and cum must have length equal to the
+// KWayMerge merges the cursors' buffers ascending into items, filling cum
+// with cumulative weights. items and cum must have length equal to the
 // total number of buffered elements. curs is reordered freely (it is heap
 // scratch); the buffers themselves are only read.
+//
+// The merge stages each item's raw weight into cum and finishes with one
+// CumSumU64 sweep — keeping the serial accumulator out of the
+// comparison-bound heap loop and letting the AVX2 prefix-sum kernel handle
+// the arithmetic. Exact uint64 addition makes the two-pass form
+// bit-identical to the fused one.
 //
 //req:noalloc
 func KWayMerge[E Elem](curs []KWayCursor[E], items []E, cum []uint64) {
 	if len(curs) == 0 {
 		return
 	}
-	var run uint64
 	if len(curs) == 1 {
 		c := &curs[0]
 		for i := range items {
-			run += c.W
 			items[i] = c.Buf[c.Pos]
-			cum[i] = run
+			cum[i] = c.W
 			c.Pos += c.Step
 		}
+		cumSumU64(cum, 0)
 		return
 	}
 	// Min-heap over the cursors, keyed by each cursor's current head item —
@@ -51,9 +56,8 @@ func KWayMerge[E Elem](curs []KWayCursor[E], items []E, cum []uint64) {
 	}
 	for out := 0; n > 0; out++ {
 		c := &curs[0]
-		run += c.W
 		items[out] = c.Buf[c.Pos]
-		cum[out] = run
+		cum[out] = c.W
 		c.Pos += c.Step
 		if c.Pos == c.End {
 			n--
@@ -65,6 +69,7 @@ func KWayMerge[E Elem](curs []KWayCursor[E], items []E, cum []uint64) {
 		}
 		siftKWay(curs, 0, n)
 	}
+	cumSumU64(cum, 0)
 }
 
 //req:noalloc

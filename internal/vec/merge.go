@@ -107,25 +107,25 @@ func MergeIntoDesc[E Elem](dst []E, add []E) []E {
 }
 
 // MergeTailCum merges the ascending-sorted tail (weight-1 items) into the
-// ascending view arrays backward in place, rewriting cumulative weights as
-// it goes — the view-repair rewrite. items and cum must already have length
-// old+len(tail); entries [0, old) hold the previous view, and the caller
-// guarantees tail does not alias items.
+// ascending view arrays backward in place — the view-repair rewrite. items
+// and cum must already have length old+len(tail); entries [0, old) hold the
+// previous view, and the caller guarantees tail does not alias items.
+//
+// The backward merge stages raw per-item weights into the moved suffix of
+// cum (k stays strictly above i, so reading cum[i]/cum[i-1] before writing
+// cum[k] is safe), then one CumSumU64 sweep rewrites that suffix to
+// cumulative form. uint64 addition is exact mod 2^64, so the result is
+// bit-identical to the old fused accumulator on every input.
 //
 //req:noalloc
 func MergeTailCum[E Elem](items []E, cum []uint64, tail []E, old int) {
 	m := len(tail)
-	var run uint64
-	if old > 0 {
-		run = cum[old-1]
-	}
-	run += uint64(m)
-	i, j, k := old-1, m-1, old+m-1
+	end := old + m
+	i, j, k := old-1, m-1, end-1
 	for i >= 0 && j >= 0 {
 		if items[i] < tail[j] {
 			items[k] = tail[j]
-			cum[k] = run
-			run--
+			cum[k] = 1
 			j--
 		} else {
 			w := cum[i]
@@ -133,19 +133,23 @@ func MergeTailCum[E Elem](items []E, cum []uint64, tail []E, old int) {
 				w -= cum[i-1]
 			}
 			items[k] = items[i]
-			cum[k] = run
-			run -= w
+			cum[k] = w
 			i--
 		}
 		k--
 	}
 	for j >= 0 {
 		items[k] = tail[j]
-		cum[k] = run
-		run--
+		cum[k] = 1
 		j--
 		k--
 	}
-	// items[0..i] and their cumulative weights are untouched: every new item
-	// merged in above them, so their prefix sums are unchanged.
+	// items[0..k] and their cumulative weights are untouched: every new item
+	// merged in above them, so their prefix sums are unchanged. [k+1, end)
+	// holds raw weights; one vectorized pass makes them cumulative.
+	var base uint64
+	if k >= 0 {
+		base = cum[k]
+	}
+	cumSumU64(cum[k+1:end], base)
 }

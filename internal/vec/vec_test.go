@@ -853,3 +853,41 @@ func refMergeTailCum[T any](items []T, cum []uint64, tail []T, less func(a, b T)
 	}
 	return items, cum
 }
+
+func TestCumSumU64Dispatch(t *testing.T) {
+	// The dispatched kernel (AVX2 on capable amd64, the portable loop under
+	// -tags purego) must be bit-identical to the scalar left-to-right
+	// reference on every length around the 4- and 8-lane block boundaries,
+	// with wraparound-inducing magnitudes included.
+	r := rand.New(rand.NewSource(21))
+	bases := []uint64{0, 1, 1 << 63, math.MaxUint64, math.MaxUint64 - 5}
+	for n := 0; n <= 67; n++ {
+		for _, base := range bases {
+			xs := make([]uint64, n)
+			for i := range xs {
+				switch r.Intn(3) {
+				case 0:
+					xs[i] = uint64(r.Intn(8)) // realistic small weights
+				case 1:
+					xs[i] = r.Uint64()
+				default:
+					xs[i] = math.MaxUint64 - uint64(r.Intn(4)) // force carries
+				}
+			}
+			want := make([]uint64, n)
+			run := base
+			for i, x := range xs {
+				run += x
+				want[i] = run
+			}
+			got := append([]uint64(nil), xs...)
+			CumSumU64(got, base)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("CumSumU64(n=%d, base=%d) diverged at %d: got %d want %d",
+						n, base, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package req
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Under -race, sync.Pool deliberately randomizes itself (Get
+// may bypass the pool), so allocation pins over pooled scratch are
+// meaningless there and skip themselves.
+const raceEnabled = true

@@ -3,6 +3,7 @@ package req
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"req/internal/core"
@@ -48,6 +49,9 @@ type Registry[K comparable, T any] struct {
 	less func(a, b T) bool
 	cfg  core.Config
 	now  func() int64
+	// pairs pools the batched-ingest scratch (*pairScratch[K, T]); a
+	// pointer so the typed wrappers can embed Registry by value.
+	pairs *sync.Pool
 }
 
 // regEntry is the arena payload: the per-key sketch, embedded by value so
@@ -78,7 +82,7 @@ func NewRegistry[K comparable, T any](less func(a, b T) bool, opts ...Option) (*
 	if cfg.WindowSlots > 0 {
 		return nil, errors.New("req: WithWindow configures a WindowedRegistry, not a Registry")
 	}
-	r := &Registry[K, T]{less: less, cfg: cfg, now: registryClock(cfg)}
+	r := &Registry[K, T]{less: less, cfg: cfg, now: registryClock(cfg), pairs: new(sync.Pool)}
 	r.m = tenant.NewMap[K, regEntry[T]](tenantConfig(cfg),
 		func(e *regEntry[T], seq uint64) {
 			// Init cannot fail: cfg was validated above and less is non-nil.

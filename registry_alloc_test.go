@@ -2,6 +2,7 @@ package req
 
 import (
 	"fmt"
+	"math"
 	"testing"
 	"time"
 )
@@ -166,5 +167,146 @@ func TestAllocsWindowedUpdateAndQuery(t *testing.T) {
 		}
 	}); avg != 0 {
 		t.Fatalf("windowed rotation allocates %v allocs/op", avg)
+	}
+}
+
+// TestAllocsRegistryUpdatePairs pins the batched ingest path: once the
+// pooled pair scratch (hash/run/table arrays) has grown to the batch's
+// high-water mark, steady-state UpdatePairs over resident keys must not
+// allocate. The caller owns the key and value slices; the registry adds
+// nothing per batch.
+func TestAllocsRegistryUpdatePairs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("pooled scratch: sync.Pool randomizes itself under the race detector")
+	}
+	reg, keys := warmRegistry(t, 64, 1<<10)
+	const batch = 256
+	bk := make([]string, batch)
+	bv := make([]float64, batch)
+	for i := range bk {
+		bk[i] = keys[(i*7)&63]
+		bv[i] = float64(i & 1023)
+	}
+	// Warm the pooled scratch to this batch size.
+	reg.UpdatePairs(bk, bv)
+	i := 0
+	if avg := testing.AllocsPerRun(2000, func() {
+		for j := range bv {
+			bv[j] = float64((i + j) & 1023)
+		}
+		reg.UpdatePairs(bk, bv)
+		i++
+	}); avg != 0 {
+		t.Fatalf("steady-state UpdatePairs allocates %v allocs/op", avg)
+	}
+}
+
+// TestAllocsRegistryUpdateKVs pins the []KV front: splitting kvs into the
+// pooled key/value staging arrays must reuse them run to run.
+func TestAllocsRegistryUpdateKVs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("pooled scratch: sync.Pool randomizes itself under the race detector")
+	}
+	reg, keys := warmRegistry(t, 64, 1<<10)
+	const batch = 256
+	kvs := make([]KV[string, float64], batch)
+	for i := range kvs {
+		kvs[i] = KV[string, float64]{Key: keys[(i*5)&63], Value: float64(i)}
+	}
+	reg.UpdateKVs(kvs)
+	i := 0
+	if avg := testing.AllocsPerRun(2000, func() {
+		for j := range kvs {
+			kvs[j].Value = float64((i + j) & 1023)
+		}
+		reg.UpdateKVs(kvs)
+		i++
+	}); avg != 0 {
+		t.Fatalf("steady-state UpdateKVs allocates %v allocs/op", avg)
+	}
+}
+
+// TestAllocsRegistryUpdatePairsNaN pins the NaN-compaction path: batches
+// containing NaNs are filtered into pooled staging arrays, not fresh ones.
+func TestAllocsRegistryUpdatePairsNaN(t *testing.T) {
+	if raceEnabled {
+		t.Skip("pooled scratch: sync.Pool randomizes itself under the race detector")
+	}
+	reg, keys := warmRegistry(t, 64, 1<<10)
+	const batch = 256
+	bk := make([]string, batch)
+	bv := make([]float64, batch)
+	nan := math.NaN()
+	for i := range bk {
+		bk[i] = keys[(i*3)&63]
+		if i&7 == 0 {
+			bv[i] = nan
+		} else {
+			bv[i] = float64(i)
+		}
+	}
+	reg.UpdatePairs(bk, bv)
+	i := 0
+	if avg := testing.AllocsPerRun(2000, func() {
+		for j := range bv {
+			if j&7 != 0 {
+				bv[j] = float64((i + j) & 1023)
+			}
+		}
+		reg.UpdatePairs(bk, bv)
+		i++
+	}); avg != 0 {
+		t.Fatalf("NaN-filtered UpdatePairs allocates %v allocs/op", avg)
+	}
+}
+
+// TestAllocsWindowedUpdatePairs pins the windowed batched path, including
+// in-batch slot resolution and steady rotation.
+func TestAllocsWindowedUpdatePairs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("pooled scratch: sync.Pool randomizes itself under the race detector")
+	}
+	clk := &fakeClock{}
+	w, err := NewWindowedRegistryFloat64(
+		WithK(8), WithSeed(5), WithShards(2), WithWindow(4, time.Second), clk.opt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 16)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("ep-%02d", i)
+	}
+	const batch = 256
+	bk := make([]string, batch)
+	bv := make([]float64, batch)
+	for i := range bk {
+		bk[i] = keys[(i*3)&15]
+		bv[i] = float64(i)
+	}
+	// Warm every ring slot across several rotations at this batch size.
+	for ep := 0; ep < 12; ep++ {
+		clk.set(time.Duration(ep) * time.Second)
+		for r := 0; r < 8; r++ {
+			w.UpdatePairs(bk, bv)
+		}
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(2000, func() {
+		for j := range bv {
+			bv[j] = float64((i + j) & 1023)
+		}
+		w.UpdatePairs(bk, bv)
+		i++
+	}); avg != 0 {
+		t.Fatalf("steady-state windowed UpdatePairs allocates %v allocs/op", avg)
+	}
+	// Rotating every batch must stay allocation-free too.
+	ep := int64(12)
+	if avg := testing.AllocsPerRun(200, func() {
+		clk.set(time.Duration(ep) * time.Second)
+		ep++
+		w.UpdatePairs(bk, bv)
+	}); avg != 0 {
+		t.Fatalf("windowed UpdatePairs across rotations allocates %v allocs/op", avg)
 	}
 }

@@ -172,3 +172,85 @@ func BenchmarkRegistryExport(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRegistryUpdatePairs measures the shard-grouped batched ingest
+// against the per-op loop at the same key mix, across batch sizes. One
+// op = one whole batch; divide ns/op by the batch size to compare with
+// BenchmarkRegistryUpdate. The 1M-key full-scale A/B lives in
+// `reqbench -registry` (BENCH_pr10.json).
+func BenchmarkRegistryUpdatePairs(b *testing.B) {
+	keys := benchRegistryKeys(1 << 10)
+	vals := benchValues(1<<16, 7)
+	for _, batch := range []int{16, 256, 4096} {
+		bk := make([]string, batch)
+		bv := make([]float64, batch)
+		for i := range bk {
+			bk[i] = keys[(i*7)&(1<<10-1)]
+			bv[i] = vals[i&(1<<16-1)]
+		}
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			reg, err := NewRegistryFloat64(WithEpsilon(0.01), WithSeed(7))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i, k := range keys {
+				reg.Update(k, vals[i&(1<<16-1)])
+			}
+			reg.UpdatePairs(bk, bv) // grow the pooled scratch before timing
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				reg.UpdatePairs(bk, bv)
+			}
+		})
+		b.Run(fmt.Sprintf("peropLoop/batch=%d", batch), func(b *testing.B) {
+			reg, err := NewRegistryFloat64(WithEpsilon(0.01), WithSeed(7))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i, k := range keys {
+				reg.Update(k, vals[i&(1<<16-1)])
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range bk {
+					reg.Update(bk[j], bv[j])
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkWindowedRegistryUpdatePairs(b *testing.B) {
+	keys := benchRegistryKeys(1 << 8)
+	vals := benchValues(1<<16, 8)
+	const batch = 256
+	bk := make([]string, batch)
+	bv := make([]float64, batch)
+	for i := range bk {
+		bk[i] = keys[(i*3)&(1<<8-1)]
+		bv[i] = vals[i&(1<<16-1)]
+	}
+	var now int64
+	reg, err := NewWindowedRegistryFloat64(
+		WithEpsilon(0.01), WithSeed(8),
+		WithWindow(8, time.Second),
+		WithClock(func() int64 { return now }),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for ep := 0; ep < 16; ep++ { // warm through two full ring laps
+		now = int64(ep) * int64(time.Second)
+		reg.UpdatePairs(bk, bv)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i&15 == 0 {
+			now += int64(time.Second) // rotation stays on the timed path
+		}
+		reg.UpdatePairs(bk, bv)
+	}
+}

@@ -187,16 +187,32 @@ func (s *Sharded[T]) Update(x T) {
 	s.commitLocked(sh)
 }
 
-// UpdateBatch inserts every item of the slice into a single shard under one
-// lock acquisition, through the core batch ingest path (min/max tracking,
-// bound checks, and compaction cascades amortized across the batch).
+// shardedBatchRun bounds one lock hold of the batched ingest path: a batch
+// larger than this is fed as a sequence of contiguous runs, each under its
+// own shard acquisition. The try-lock sweep in writeShard then spreads a
+// huge batch's runs across uncontended stripes instead of pinning one
+// shard (and every writer colliding with it) for the whole slice, while
+// batches up to the threshold keep the single-acquisition fast path.
+const shardedBatchRun = 4096
+
+// UpdateBatch inserts every item of the slice through the core batch
+// ingest path (min/max tracking, bound checks, and compaction cascades
+// amortized across the batch). Batches up to shardedBatchRun items go into
+// a single shard under one lock acquisition; larger batches are split into
+// contiguous runs, each ingested under its own acquisition — mergeability
+// (Theorem 3) makes the split free, and item order is preserved within
+// every run.
 func (s *Sharded[T]) UpdateBatch(items []T) {
-	if len(items) == 0 {
-		return
+	for len(items) > 0 {
+		run := items
+		if len(run) > shardedBatchRun && len(s.shards) > 1 {
+			run = run[:shardedBatchRun]
+		}
+		sh := s.writeShard()
+		sh.sk.UpdateBatch(run)
+		s.commitLocked(sh)
+		items = items[len(run):]
 	}
-	sh := s.writeShard()
-	sh.sk.UpdateBatch(items)
-	s.commitLocked(sh)
 }
 
 // UpdateAll inserts every item of the slice into a single shard under one

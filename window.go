@@ -3,6 +3,7 @@ package req
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"req/internal/core"
@@ -47,6 +48,9 @@ type WindowedRegistry[K comparable, T any] struct {
 	less func(a, b T) bool
 	cfg  core.Config
 	now  func() int64
+	// pairs pools the batched-ingest scratch (*pairScratch[K, T]); a
+	// pointer so the typed wrappers can embed WindowedRegistry by value.
+	pairs *sync.Pool
 
 	slots     int
 	slotNanos int64
@@ -80,6 +84,7 @@ func NewWindowedRegistry[K comparable, T any](less func(a, b T) bool, opts ...Op
 		less:      less,
 		cfg:       cfg,
 		now:       registryClock(cfg),
+		pairs:     new(sync.Pool),
 		slots:     cfg.WindowSlots,
 		slotNanos: cfg.SlotNanos,
 	}
